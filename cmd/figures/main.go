@@ -1,0 +1,158 @@
+// Command figures regenerates every table and figure of the paper
+// "Interconnection Networks for Scalable Quantum Computers" (ISCA 2006)
+// from the models in this repository.
+//
+// Usage:
+//
+//	figures -fig all                # every table and figure, text output
+//	figures -fig 8                  # Figure 8 (purification protocols)
+//	figures -fig 16 -grid 16        # Figure 16 at the paper's full scale
+//	figures -fig 10 -format csv     # machine-readable output
+//
+// Figures: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/epr"
+	"repro/internal/figures"
+	"repro/internal/phys"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, all")
+		format  = flag.String("format", "text", "output format: text or csv")
+		grid    = flag.Int("grid", 8, "mesh edge length for figure 16 (paper: 16)")
+		area    = flag.Int("area", 48, "per-tile resource budget t+g+p for figure 16")
+		hops    = flag.Int("hops", 10, "path length in hops for figure 12")
+		noPlots = flag.Bool("no-plots", false, "suppress ASCII plots in text mode")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *fig, *format, *grid, *area, *hops, *noPlots); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig, format string, grid, area, hops int, noPlots bool) error {
+	if format != "text" && format != "csv" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	emit := func(t *report.Table, p *report.Plot) error {
+		if format == "csv" {
+			return t.WriteCSV(w)
+		}
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		if p != nil && !noPlots {
+			fmt.Fprintln(w)
+			if err := p.Write(w); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+
+	base := phys.IonTrap2006()
+	wanted := strings.Split(fig, ",")
+	has := func(name string) bool {
+		for _, f := range wanted {
+			if f == name || f == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	matched := false
+
+	if has("table1") {
+		matched = true
+		if err := emit(figures.Table1(base), nil); err != nil {
+			return err
+		}
+	}
+	if has("table2") {
+		matched = true
+		if err := emit(figures.Table2(base), nil); err != nil {
+			return err
+		}
+	}
+	if has("claims") {
+		matched = true
+		if err := emit(figures.Claims(base), nil); err != nil {
+			return err
+		}
+	}
+	if has("8") {
+		matched = true
+		t, p := figures.Fig8(base, 25)
+		if err := emit(t, p); err != nil {
+			return err
+		}
+	}
+	if has("9") {
+		matched = true
+		t, p := figures.Fig9(base, 70)
+		if err := emit(t, p); err != nil {
+			return err
+		}
+	}
+	if has("10") {
+		matched = true
+		t, p := figures.Fig10(epr.DefaultConfig(base), false)
+		if err := emit(t, p); err != nil {
+			return err
+		}
+	}
+	if has("11") {
+		matched = true
+		t, p := figures.Fig10(epr.DefaultConfig(base), true)
+		if err := emit(t, p); err != nil {
+			return err
+		}
+	}
+	if has("12") {
+		matched = true
+		t, p := figures.Fig12(base, hops)
+		if err := emit(t, p); err != nil {
+			return err
+		}
+	}
+	if has("16") {
+		matched = true
+		cfg := figures.DefaultFig16Config()
+		cfg.GridSize = grid
+		cfg.Area = area
+		data, err := figures.Fig16(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(data.Table(), data.Plot()); err != nil {
+			return err
+		}
+	}
+	if has("memm") {
+		matched = true
+		t, err := figures.MEMM(grid, 16, 16, 8)
+		if err != nil {
+			return err
+		}
+		if err := emit(t, nil); err != nil {
+			return err
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q (want table1, table2, claims, 8, 9, 10, 11, 12, 16, memm or all)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Command qnetsim runs the event-driven quantum-network simulator on one
+// configuration and prints the full result: execution time, channel
+// statistics, resource utilizations and classical-network traffic.
+//
+// Usage:
+//
+//	qnetsim -workload qft -grid 8 -layout mobile -t 16 -g 16 -p 8
+//	qnetsim -workload mm -grid 16 -layout home -t 24 -g 24 -p 6
+//	qnetsim -program kernel.q -grid 8 -heatmap      # custom program file
+//
+// Program files use the instruction-stream format of internal/isa:
+//
+//	qubits 16
+//	op 0 1
+//	qft 8 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/mesh"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "qft", "workload: qft, mm or me (ignored with -program)")
+		program = flag.String("program", "", "path to an instruction-stream file (see internal/isa)")
+		gridN   = flag.Int("grid", 8, "mesh edge length")
+		layout  = flag.String("layout", "home", "layout: home or mobile")
+		t       = flag.Int("t", 16, "teleporters per T' node")
+		g       = flag.Int("g", 16, "generators per G node")
+		p       = flag.Int("p", 16, "queue purifiers per P node")
+		depth   = flag.Int("depth", 3, "queue purifier depth")
+		level   = flag.Int("level", 2, "Steane code concatenation level")
+		hopCell = flag.Int("hopcells", 600, "cells per mesh hop")
+		failure = flag.Float64("failure", 0, "injected purification failure probability per batch")
+		seed    = flag.Int64("seed", 0, "failure-injection RNG seed")
+		heatmap = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
+	)
+	flag.Parse()
+
+	if err := run(opts{
+		workload: *wl, program: *program, gridN: *gridN, layout: *layout,
+		t: *t, g: *g, p: *p, depth: *depth, level: *level, hopCells: *hopCell,
+		failure: *failure, seed: *seed, heatmap: *heatmap,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "qnetsim:", err)
+		os.Exit(1)
+	}
+}
+
+type opts struct {
+	workload, program, layout    string
+	gridN, t, g, p, depth, level int
+	hopCells                     int
+	failure                      float64
+	seed                         int64
+	heatmap                      bool
+}
+
+func run(o opts) error {
+	grid, err := mesh.NewGrid(o.gridN, o.gridN)
+	if err != nil {
+		return err
+	}
+
+	var layout netsim.Layout
+	switch o.layout {
+	case "home":
+		layout = netsim.HomeBase
+	case "mobile":
+		layout = netsim.MobileQubit
+	default:
+		return fmt.Errorf("unknown layout %q (want home or mobile)", o.layout)
+	}
+
+	var prog workload.Program
+	if o.program != "" {
+		f, err := os.Open(o.program)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog, err = isa.Parse(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		switch o.workload {
+		case "qft":
+			prog = workload.QFT(grid.Tiles())
+		case "mm":
+			prog = workload.ModMult(grid.Tiles() / 2)
+		case "me":
+			prog = workload.ModExp(grid.Tiles()/4, 1)
+		default:
+			return fmt.Errorf("unknown workload %q (want qft, mm or me)", o.workload)
+		}
+	}
+
+	cfg := netsim.DefaultConfig(grid, layout, o.t, o.g, o.p)
+	cfg.PurifyDepth = o.depth
+	cfg.CodeLevel = o.level
+	cfg.HopCells = o.hopCells
+	cfg.PurifyFailureRate = o.failure
+	cfg.Seed = o.seed
+
+	res, detail, err := netsim.RunDetailed(cfg, prog)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload            %s (%d logical qubits, %d ops)\n", prog.Name, prog.Qubits, res.Ops)
+	fmt.Printf("machine             %dx%d mesh, %v layout, t=%d g=%d p=%d, depth-%d purifiers, level-%d code\n",
+		o.gridN, o.gridN, layout, o.t, o.g, o.p, o.depth, o.level)
+	fmt.Printf("execution time      %v\n", res.Exec)
+	fmt.Printf("channels            %d (%d ops were local)\n", res.Channels, res.LocalOps)
+	fmt.Printf("EPR pairs delivered %d\n", res.PairsDelivered)
+	fmt.Printf("EPR pair-hops       %d\n", res.PairHops)
+	if res.FailedBatches > 0 {
+		fmt.Printf("failed batches      %d (failure rate %.2f)\n", res.FailedBatches, o.failure)
+	}
+	fmt.Printf("channel latency     mean %v, max %v\n", res.MeanChannelLatency, res.MaxChannelLatency)
+	fmt.Printf("utilization         teleporters %.1f%%, generators %.1f%%, purifiers %.1f%%\n",
+		100*res.TeleporterUtil, 100*res.GeneratorUtil, 100*res.PurifierUtil)
+	fmt.Printf("classical messages  %d\n", res.ClassicalMessages)
+	fmt.Printf("simulation events   %d\n", res.Events)
+
+	if o.heatmap {
+		for _, metric := range []string{"teleporter", "purifier"} {
+			fmt.Println()
+			m, err := detail.Heatmap(metric)
+			if err != nil {
+				return err
+			}
+			fmt.Print(m)
+		}
+		hot, v := detail.HottestTile()
+		fmt.Printf("\nhottest T' node: %v at %.1f%%\n", hot, 100*v)
+	}
+	return nil
+}

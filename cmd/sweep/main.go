@@ -1,0 +1,135 @@
+// Command sweep explores the sensitivity of the communication models to
+// device parameters: it scales all error rates around the Table 2
+// baseline, sweeps the teleporter hop length around the 600-cell latency
+// crossover, and sweeps the queue-purifier depth — the ablations of the
+// design decisions called out in DESIGN.md.
+//
+// Usage:
+//
+//	sweep -mode errors              # error-rate scaling ablation
+//	sweep -mode hops                # hop-length ablation
+//	sweep -mode depth -grid 6       # purifier-depth ablation (simulator)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ballistic"
+	"repro/internal/epr"
+	"repro/internal/mesh"
+	"repro/internal/netsim"
+	"repro/internal/phys"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "errors", "sweep mode: errors, hops, depth or methodology")
+		dist  = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
+		gridN = flag.Int("grid", 6, "mesh edge length for the depth sweep")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "errors":
+		err = sweepErrors(*dist)
+	case "hops":
+		err = sweepHops(*dist)
+	case "depth":
+		err = sweepDepth(*gridN)
+	case "methodology":
+		err = sweepMethodology()
+	default:
+		err = fmt.Errorf("unknown mode %q (want errors, hops, depth or methodology)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepErrors scales all Table 2 error rates by powers of ten and
+// reports the channel-setup cost.
+func sweepErrors(dist int) error {
+	t := report.NewTable(
+		fmt.Sprintf("Error-rate scaling ablation (endpoints-only, %d hops)", dist),
+		"Scale", "pmv", "ArrivalError", "EndpointRounds", "TeleportedPairs", "Feasible")
+	for _, scale := range []float64{0.01, 0.1, 1, 10, 100, 1000} {
+		p := phys.IonTrap2006().Scale(scale)
+		cfg := epr.DefaultConfig(p)
+		c := cfg.Evaluate(epr.EndpointsOnly, dist)
+		t.AddRow(scale, p.Errors.MoveCell, c.ArrivalError, c.EndpointRounds, c.TeleportedPairs, c.Feasible)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// sweepHops varies the teleporter spacing around the latency crossover
+// and reports both latency and fidelity consequences.
+func sweepHops(dist int) error {
+	p := phys.IonTrap2006()
+	t := report.NewTable(
+		fmt.Sprintf("Hop-length ablation (%d hops of each length)", dist),
+		"HopCells", "BallisticPerHop", "TeleportPerHop", "LinkPairError", "TeleportedPairs")
+	for _, cells := range []int{100, 200, 400, 600, 800, 1200, 2400} {
+		cfg := epr.DefaultConfig(p)
+		cfg.HopCells = cells
+		c := cfg.Evaluate(epr.EndpointsOnly, dist)
+		t.AddRow(cells,
+			p.BallisticTime(cells).String(),
+			p.TeleportTime(cells).String(),
+			cfg.RawLinkPair().Error(),
+			c.TeleportedPairs)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// sweepDepth varies the queue-purifier depth in the full simulator.
+func sweepDepth(gridN int) error {
+	grid, err := mesh.NewGrid(gridN, gridN)
+	if err != nil {
+		return err
+	}
+	prog := workload.QFT(grid.Tiles())
+	t := report.NewTable(
+		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8)", grid.Tiles()),
+		"Depth", "PairsPerOutput", "PairsDelivered", "Exec")
+	for depth := 1; depth <= 5; depth++ {
+		cfg := netsim.DefaultConfig(grid, netsim.HomeBase, 16, 16, 8)
+		cfg.PurifyDepth = depth
+		res, err := netsim.Run(cfg, prog)
+		if err != nil {
+			return err
+		}
+		t.AddRow(depth, 1<<uint(depth), res.PairsDelivered, res.Exec.String())
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// sweepMethodology compares the two EPR distribution methodologies of
+// Figures 4 and 5 over a range of physical distances (the paper's §4.6
+// fidelity/latency comparison plus the control-complexity metric).
+func sweepMethodology() error {
+	p := phys.IonTrap2006()
+	t := report.NewTable(
+		"Distribution methodology comparison (ballistic vs chained teleportation)",
+		"Cells", "BallisticLatency", "TeleportLatency",
+		"BallisticPairErr", "ChainedPairErr", "BallisticCtrlSignals")
+	for _, cells := range []int{600, 1800, 6000, 18000, 36000} {
+		c, err := ballistic.Compare(p, cells, 600)
+		if err != nil {
+			return err
+		}
+		d := ballistic.Distribution{Params: p, DistanceCells: cells}
+		res, err := d.Evaluate()
+		if err != nil {
+			return err
+		}
+		t.AddRow(cells, c.BallisticLatency.String(), c.TeleportLatency.String(),
+			c.BallisticPairError, c.ChainedPairError, res.ControlSignals)
+	}
+	return t.WriteText(os.Stdout)
+}

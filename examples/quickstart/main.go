@@ -1,0 +1,72 @@
+// Quickstart: build a reliable quantum channel step by step.
+//
+// This example walks the paper's core argument: moving a qubit
+// ballistically across a large ion-trap chip destroys it; teleportation
+// needs high-fidelity EPR pairs; chained teleportation distributes those
+// pairs but degrades them; endpoint purification repairs them at an
+// exponential (but affordable) cost.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/epr"
+	"repro/internal/fidelity"
+	"repro/internal/phys"
+)
+
+func main() {
+	p := phys.IonTrap2006()
+	fmt.Println("== Ion-trap device parameters (paper Tables 1 and 2) ==")
+	fmt.Println(p)
+
+	// Step 1: why not just move the qubit?  On a 1000x1000-cell chip the
+	// corner-to-corner ballistic error is already fatal for data.
+	fmt.Println("\n== Step 1: ballistic movement does not scale ==")
+	for _, n := range []int{10, 100, 1000} {
+		fmt.Printf("corner-to-corner on a %4dx%-4d grid: error %.2e (threshold %.2e)\n",
+			n, n, fidelity.CornerToCornerError(p, n), fidelity.ThresholdError)
+	}
+
+	// Step 2: teleportation needs an EPR pair at both endpoints; its
+	// output fidelity depends on the pair's fidelity (Eq 3).
+	fmt.Println("\n== Step 2: teleportation quality tracks EPR pair quality ==")
+	for _, eprErr := range []float64{1e-7, 1e-5, 1e-3} {
+		out := fidelity.Teleport(p, 1, 1-eprErr)
+		fmt.Printf("teleport with EPR error %.0e: data error %.2e\n", eprErr, 1-out)
+	}
+
+	// Step 3: the latency crossover that sets the teleporter grid pitch.
+	fmt.Println("\n== Step 3: when is teleporting faster than moving? ==")
+	d := p.CrossoverCells()
+	fmt.Printf("crossover at %d cells (paper: ~600): ballistic %v vs teleport %v\n",
+		d, p.BallisticTime(d), p.TeleportTime(d))
+
+	// Step 4: set up a channel across 30 hops (the 16x16 grid diameter)
+	// and see what it costs under the paper's chosen policy.
+	fmt.Println("\n== Step 4: channel setup cost across 30 hops ==")
+	cfg := epr.DefaultConfig(p)
+	cost := cfg.Evaluate(epr.EndpointsOnly, 30)
+	fmt.Printf("arrival error after 30 chained teleports: %.2e\n", cost.ArrivalError)
+	fmt.Printf("endpoint purification rounds needed:      %d (tree of %d pairs)\n",
+		cost.EndpointRounds, 1<<uint(cost.EndpointRounds))
+	fmt.Printf("delivered pair error:                     %.2e (threshold %.2e)\n",
+		cost.FinalError, fidelity.ThresholdError)
+	fmt.Printf("pairs teleported per delivered pair:      %.1f\n", cost.TeleportedPairs)
+	fmt.Printf("total pairs consumed per delivered pair:  %.1f\n", cost.TotalPairs)
+
+	// Step 5: a logical qubit is 49 physical qubits (level-2 Steane), so
+	// one logical communication needs hundreds of pairs — the paper's
+	// headline number.
+	fmt.Println("\n== Step 5: scaling to a logical qubit ==")
+	code, err := ecc.Steane(2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v\n", code)
+	fmt.Printf("EPR pairs delivered per logical teleport: %d (= 2^3 x %d, paper: 392)\n",
+		code.RawPairsPerLogicalTeleport(3), code.PhysicalQubits())
+}

@@ -1,0 +1,48 @@
+// Resource allocation sweep: a configurable Figure 16.
+//
+// The paper's final experiment fixes the chip area devoted to the
+// interconnect (T' + G + P nodes) and varies how it is split between
+// teleporters/generators and queue purifiers.  Home Base channels share
+// T' nodes heavily, so they tolerate fewer purifiers; the Mobile Qubit
+// layout's local traffic hammers the endpoint purifiers instead.
+//
+// Run with: go run ./examples/resource-sweep [-grid 8] [-area 48]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	gridN := flag.Int("grid", 8, "mesh edge length (paper: 16)")
+	area := flag.Int("area", 48, "per-tile resource budget t+g+p")
+	flag.Parse()
+
+	cfg := figures.Fig16Config{
+		GridSize: *gridN,
+		Area:     *area,
+		Ratios:   []int{1, 2, 4, 8},
+	}
+	fmt.Printf("sweeping QFT-%d with area budget %d...\n\n", cfg.GridSize*cfg.GridSize, cfg.Area)
+	data, err := figures.Fig16(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := data.Table().WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := data.Plot().Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nReading the sweep: Mobile degrades sharply once purifiers are")
+	fmt.Println("starved (t=g=8p); Home Base, already throttled by T' sharing,")
+	fmt.Println("tolerates the same cut far better — the paper's Figure 16 shape.")
+}

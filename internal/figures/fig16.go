@@ -1,0 +1,160 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/netsim"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Fig16Config parameterizes the Figure 16 reproduction: the benchmark
+// execution time of QFT under both layouts as a function of network
+// resource allocation, normalized to t = g = p = 1024.
+type Fig16Config struct {
+	// GridSize is the mesh edge length; the paper uses 16 (QFT-256).
+	// The default harness uses 8 to keep run time short; pass 16 for the
+	// full-scale reproduction.
+	GridSize int
+	// Area is the per-tile resource budget t + g + p; 48 by default.
+	Area int
+	// Ratios are the t/p points of the sweep.
+	Ratios []int
+}
+
+// DefaultFig16Config returns the quick (8×8, QFT-64) configuration.
+func DefaultFig16Config() Fig16Config {
+	return Fig16Config{GridSize: 8, Area: 48, Ratios: []int{1, 2, 4, 8}}
+}
+
+// Fig16Row is one measurement of the sweep.
+type Fig16Row struct {
+	Layout     netsim.Layout
+	Allocation netsim.Allocation
+	Exec       time.Duration
+	Normalized float64
+	Result     netsim.Result
+}
+
+// Fig16Data holds the full sweep, including the normalization runs.
+type Fig16Data struct {
+	Config    Fig16Config
+	Qubits    int
+	Baselines map[netsim.Layout]netsim.Result
+	Rows      []Fig16Row
+}
+
+// Fig16 runs the resource-allocation sweep of Figure 16.
+func Fig16(cfg Fig16Config) (*Fig16Data, error) {
+	if cfg.GridSize < 2 {
+		return nil, fmt.Errorf("figures: grid size %d too small", cfg.GridSize)
+	}
+	grid, err := mesh.NewGrid(cfg.GridSize, cfg.GridSize)
+	if err != nil {
+		return nil, err
+	}
+	qubits := grid.Tiles()
+	prog := workload.QFT(qubits)
+	allocs, err := netsim.SweepAllocations(cfg.Area, cfg.Ratios)
+	if err != nil {
+		return nil, err
+	}
+
+	data := &Fig16Data{
+		Config:    cfg,
+		Qubits:    qubits,
+		Baselines: make(map[netsim.Layout]netsim.Result, 2),
+	}
+	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
+		base, err := netsim.Run(netsim.DefaultConfig(grid, layout, 1024, 1024, 1024), prog)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %v baseline: %w", layout, err)
+		}
+		data.Baselines[layout] = base
+		for _, a := range allocs {
+			res, err := netsim.Run(netsim.DefaultConfig(grid, layout, a.T, a.G, a.P), prog)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %v %v: %w", layout, a, err)
+			}
+			data.Rows = append(data.Rows, Fig16Row{
+				Layout:     layout,
+				Allocation: a,
+				Exec:       res.Exec,
+				Normalized: float64(res.Exec) / float64(base.Exec),
+				Result:     res,
+			})
+		}
+	}
+	return data, nil
+}
+
+// Table renders the sweep as a table.
+func (d *Fig16Data) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 16: QFT-%d execution vs resource allocation (normalized to t=g=p=1024)", d.Qubits),
+		"Layout", "Allocation", "Exec", "Normalized", "TeleporterUtil", "PurifierUtil")
+	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
+		base := d.Baselines[layout]
+		t.AddRow(layout.String(), "t=g=p=1024 (baseline)", base.Exec.String(), 1.0,
+			base.TeleporterUtil, base.PurifierUtil)
+		for _, r := range d.Rows {
+			if r.Layout != layout {
+				continue
+			}
+			t.AddRow(layout.String(), r.Allocation.String(), r.Exec.String(), r.Normalized,
+				r.Result.TeleporterUtil, r.Result.PurifierUtil)
+		}
+	}
+	return t
+}
+
+// Plot renders normalized execution versus the t/p ratio.
+func (d *Fig16Data) Plot() *report.Plot {
+	plot := report.NewPlot(
+		fmt.Sprintf("Figure 16: QFT-%d normalized execution vs t/p ratio", d.Qubits),
+		"t = g = ratio × p", "execution / unlimited-resource execution")
+	plot.LogY = true
+	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
+		s := report.Series{Name: layout.String()}
+		for _, r := range d.Rows {
+			if r.Layout != layout {
+				continue
+			}
+			s.X = append(s.X, float64(r.Allocation.Ratio))
+			s.Y = append(s.Y, r.Normalized)
+		}
+		plot.Add(s)
+	}
+	return plot
+}
+
+// MEMMData compares the three Shor's-algorithm kernels (the paper's
+// benchmark suite of §5.2) under one allocation.
+func MEMM(gridSize int, t, g, p int) (*report.Table, error) {
+	grid, err := mesh.NewGrid(gridSize, gridSize)
+	if err != nil {
+		return nil, err
+	}
+	half := grid.Tiles() / 2
+	progs := []workload.Program{
+		workload.QFT(grid.Tiles()),
+		workload.ModMult(half),
+		workload.ModExp(half/2, 1),
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Shor kernels on a %dx%d mesh (t=%d g=%d p=%d)", gridSize, gridSize, t, g, p),
+		"Kernel", "Layout", "Ops", "Channels", "PairHops", "Exec", "MeanChannelLatency")
+	for _, prog := range progs {
+		for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
+			res, err := netsim.Run(netsim.DefaultConfig(grid, layout, t, g, p), prog)
+			if err != nil {
+				return nil, err
+			}
+			tab.AddRow(prog.Name, layout.String(), res.Ops, res.Channels, res.PairHops,
+				res.Exec.String(), res.MeanChannelLatency.String())
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,177 @@
+// Package isa defines the textual instruction-stream format the
+// simulator's classical control unit consumes (the "stream of
+// instructions" of Figure 1) and its parser.  The format is line
+// oriented:
+//
+//	# comments run to end of line
+//	program shor-kernel        # optional name
+//	qubits 16                  # required before any op
+//	op 0 1                     # one two-logical-qubit operation
+//	op 0 2
+//	qft 8                      # macro: all-to-all over qubits 0..7
+//	qft 8 8                    # macro with offset: qubits 8..15
+//	mm 4                       # macro: bipartite 0..3 x 4..7
+//	mm 4 8                     # macro with offset: 8..11 x 12..15
+//
+// Macros expand to the corresponding workload generators, so a hand
+// written kernel can mix explicit ops with standard patterns.
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Parse reads an instruction stream.
+func Parse(r io.Reader) (workload.Program, error) {
+	var prog workload.Program
+	prog.Name = "program"
+	sawQubits := false
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "program":
+			if len(fields) != 2 {
+				return prog, fmt.Errorf("isa: line %d: program takes one name", lineNo)
+			}
+			prog.Name = fields[1]
+		case "qubits":
+			n, err := argInt(fields, 1, lineNo)
+			if err != nil {
+				return prog, err
+			}
+			if len(fields) != 2 {
+				return prog, fmt.Errorf("isa: line %d: qubits takes one count", lineNo)
+			}
+			if n < 1 {
+				return prog, fmt.Errorf("isa: line %d: qubit count must be >= 1, got %d", lineNo, n)
+			}
+			prog.Qubits = n
+			sawQubits = true
+		case "op":
+			if !sawQubits {
+				return prog, fmt.Errorf("isa: line %d: op before qubits declaration", lineNo)
+			}
+			if len(fields) != 3 {
+				return prog, fmt.Errorf("isa: line %d: op takes two qubit labels", lineNo)
+			}
+			a, err := argInt(fields, 1, lineNo)
+			if err != nil {
+				return prog, err
+			}
+			b, err := argInt(fields, 2, lineNo)
+			if err != nil {
+				return prog, err
+			}
+			prog.Ops = append(prog.Ops, workload.Op{A: a, B: b})
+		case "qft":
+			if err := expandMacro(&prog, fields, lineNo, sawQubits, macroQFT); err != nil {
+				return prog, err
+			}
+		case "mm":
+			if err := expandMacro(&prog, fields, lineNo, sawQubits, macroMM); err != nil {
+				return prog, err
+			}
+		default:
+			return prog, fmt.Errorf("isa: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return prog, fmt.Errorf("isa: %w", err)
+	}
+	if !sawQubits {
+		return prog, fmt.Errorf("isa: missing qubits declaration")
+	}
+	if err := prog.Validate(); err != nil {
+		return prog, fmt.Errorf("isa: %w", err)
+	}
+	return prog, nil
+}
+
+type macro func(n int) workload.Program
+
+func macroQFT(n int) workload.Program { return workload.QFT(n) }
+func macroMM(n int) workload.Program  { return workload.ModMult(n) }
+
+func expandMacro(prog *workload.Program, fields []string, lineNo int, sawQubits bool, m macro) error {
+	if !sawQubits {
+		return fmt.Errorf("isa: line %d: %s before qubits declaration", lineNo, fields[0])
+	}
+	if len(fields) != 2 && len(fields) != 3 {
+		return fmt.Errorf("isa: line %d: %s takes a size and optional offset", lineNo, fields[0])
+	}
+	n, err := argInt(fields, 1, lineNo)
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("isa: line %d: %s size must be >= 1, got %d", lineNo, fields[0], n)
+	}
+	offset := 0
+	if len(fields) == 3 {
+		offset, err = argInt(fields, 2, lineNo)
+		if err != nil {
+			return err
+		}
+		if offset < 0 {
+			return fmt.Errorf("isa: line %d: offset must be >= 0, got %d", lineNo, offset)
+		}
+	}
+	for _, op := range m(n).Ops {
+		prog.Ops = append(prog.Ops, workload.Op{A: op.A + offset, B: op.B + offset})
+	}
+	return nil
+}
+
+func argInt(fields []string, i, lineNo int) (int, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("isa: line %d: missing argument", lineNo)
+	}
+	v, err := strconv.Atoi(fields[i])
+	if err != nil {
+		return 0, fmt.Errorf("isa: line %d: %q is not an integer", lineNo, fields[i])
+	}
+	return v, nil
+}
+
+// Format renders a program back into the textual format (explicit ops;
+// macros are not reconstructed).
+func Format(prog workload.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", sanitizeName(prog.Name))
+	fmt.Fprintf(&b, "qubits %d\n", prog.Qubits)
+	for _, op := range prog.Ops {
+		fmt.Fprintf(&b, "op %d %d\n", op.A, op.B)
+	}
+	return b.String()
+}
+
+func sanitizeName(name string) string {
+	if name == "" {
+		return "program"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+}

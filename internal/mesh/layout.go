@@ -1,0 +1,98 @@
+package mesh
+
+import "fmt"
+
+// Placement maps logical qubits to home tiles on the grid.
+type Placement struct {
+	grid  Grid
+	homes []Coord
+}
+
+// RowMajorPlacement assigns logical qubit i to tile i in row-major
+// order — the basic layout on the left of the paper's Figure 15 and the
+// natural reading of Figure 13.
+func RowMajorPlacement(g Grid, qubits int) (*Placement, error) {
+	if qubits < 1 || qubits > g.Tiles() {
+		return nil, fmt.Errorf("mesh: %d qubits do not fit a %dx%d grid", qubits, g.Width, g.Height)
+	}
+	homes := make([]Coord, qubits)
+	for i := range homes {
+		homes[i] = g.CoordOf(i)
+	}
+	return &Placement{grid: g, homes: homes}, nil
+}
+
+// SnakePlacement assigns logical qubits along a boustrophedon path
+// (left-to-right, then right-to-left on the next row).  This is the
+// Mobile Qubit Layout of Figure 15: consecutive logical qubits are
+// physically adjacent, so the QFT's walk from qubit to qubit is a
+// sequence of single-hop moves.
+func SnakePlacement(g Grid, qubits int) (*Placement, error) {
+	if qubits < 1 || qubits > g.Tiles() {
+		return nil, fmt.Errorf("mesh: %d qubits do not fit a %dx%d grid", qubits, g.Width, g.Height)
+	}
+	homes := make([]Coord, qubits)
+	for i := range homes {
+		y := i / g.Width
+		x := i % g.Width
+		if y%2 == 1 {
+			x = g.Width - 1 - x
+		}
+		homes[i] = Coord{X: x, Y: y}
+	}
+	return &Placement{grid: g, homes: homes}, nil
+}
+
+// Grid returns the underlying grid.
+func (p *Placement) Grid() Grid { return p.grid }
+
+// Qubits returns the number of placed logical qubits.
+func (p *Placement) Qubits() int { return len(p.homes) }
+
+// Home returns logical qubit q's home tile.
+func (p *Placement) Home(q int) Coord {
+	if q < 0 || q >= len(p.homes) {
+		panic(fmt.Sprintf("mesh: logical qubit %d out of range [0,%d)", q, len(p.homes)))
+	}
+	return p.homes[q]
+}
+
+// MaxPairDistance returns the largest Manhattan distance between the
+// homes of any two logical qubits — the longest communication path.
+func (p *Placement) MaxPairDistance() int {
+	// The extremes lie on the bounding box of the homes.
+	minX, minY := p.homes[0].X, p.homes[0].Y
+	maxX, maxY := minX, minY
+	for _, h := range p.homes {
+		if h.X < minX {
+			minX = h.X
+		}
+		if h.X > maxX {
+			maxX = h.X
+		}
+		if h.Y < minY {
+			minY = h.Y
+		}
+		if h.Y > maxY {
+			maxY = h.Y
+		}
+	}
+	return maxX - minX + maxY - minY
+}
+
+// MeanPairDistance returns the average Manhattan distance over all
+// unordered pairs of logical qubit homes.
+func (p *Placement) MeanPairDistance() float64 {
+	n := len(p.homes)
+	if n < 2 {
+		return 0
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += int64(Manhattan(p.homes[i], p.homes[j]))
+		}
+	}
+	pairs := int64(n) * int64(n-1) / 2
+	return float64(total) / float64(pairs)
+}

@@ -1,0 +1,298 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, w, h int) Grid {
+	t.Helper()
+	g, err := NewGrid(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 5); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewGrid(5, -1); err == nil {
+		t.Error("negative height should fail")
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	g := mustGrid(t, 16, 16)
+	if g.Tiles() != 256 {
+		t.Errorf("tiles = %d, want 256", g.Tiles())
+	}
+	if g.Diameter() != 30 {
+		t.Errorf("diameter = %d, want 30", g.Diameter())
+	}
+	if !g.Contains(Coord{15, 15}) || g.Contains(Coord{16, 0}) || g.Contains(Coord{0, -1}) {
+		t.Error("Contains is wrong at the boundary")
+	}
+}
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	g := mustGrid(t, 7, 3)
+	for i := 0; i < g.Tiles(); i++ {
+		if got := g.Index(g.CoordOf(i)); got != i {
+			t.Errorf("round trip of %d gave %d", i, got)
+		}
+	}
+	if g.Index(Coord{2, 1}) != 9 {
+		t.Errorf("Index(2,1) = %d, want 9", g.Index(Coord{2, 1}))
+	}
+}
+
+func TestIndexPanicsOutside(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Index outside grid should panic")
+		}
+	}()
+	g.Index(Coord{4, 0})
+}
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 4}, 7},
+		{Coord{5, 2}, Coord{1, 9}, 11},
+	}
+	for _, c := range cases {
+		if got := Manhattan(c.a, c.b); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Manhattan(c.b, c.a); got != c.want {
+			t.Errorf("Manhattan not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestDirectionAxis(t *testing.T) {
+	if East.Axis() != 0 || West.Axis() != 0 {
+		t.Error("East/West should be axis 0")
+	}
+	if North.Axis() != 1 || South.Axis() != 1 {
+		t.Error("North/South should be axis 1")
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	g := mustGrid(t, 8, 8)
+	dirs, err := g.Route(Coord{1, 1}, Coord{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// X first (3 East), then Y (5 South).
+	if len(dirs) != 8 {
+		t.Fatalf("route length %d, want 8", len(dirs))
+	}
+	for i, d := range dirs {
+		if i < 3 && d != East {
+			t.Errorf("hop %d = %v, want East", i, d)
+		}
+		if i >= 3 && d != South {
+			t.Errorf("hop %d = %v, want South", i, d)
+		}
+	}
+}
+
+func TestRouteWestNorth(t *testing.T) {
+	g := mustGrid(t, 8, 8)
+	dirs, err := g.Route(Coord{5, 5}, Coord{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWest, wantNorth := 3, 4
+	var west, north int
+	for _, d := range dirs {
+		switch d {
+		case West:
+			west++
+		case North:
+			north++
+		default:
+			t.Errorf("unexpected direction %v", d)
+		}
+	}
+	if west != wantWest || north != wantNorth {
+		t.Errorf("got %d West %d North, want %d/%d", west, north, wantWest, wantNorth)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	if _, err := g.Route(Coord{-1, 0}, Coord{0, 0}); err == nil {
+		t.Error("route from outside should fail")
+	}
+	if _, err := g.Route(Coord{0, 0}, Coord{9, 9}); err == nil {
+		t.Error("route to outside should fail")
+	}
+}
+
+func TestRouteTiles(t *testing.T) {
+	g := mustGrid(t, 8, 8)
+	tiles, err := g.RouteTiles(Coord{0, 0}, Coord{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Coord{{0, 0}, {1, 0}, {2, 0}, {2, 1}}
+	if len(tiles) != len(want) {
+		t.Fatalf("path %v, want %v", tiles, want)
+	}
+	for i := range want {
+		if tiles[i] != want[i] {
+			t.Fatalf("path %v, want %v", tiles, want)
+		}
+	}
+}
+
+// Property: routes are valid paths of the right length entirely on the
+// grid, turning at most once between axes (dimension order).
+func TestRouteProperty(t *testing.T) {
+	g := mustGrid(t, 16, 16)
+	f := func(sx, sy, dx, dy uint8) bool {
+		src := Coord{int(sx) % 16, int(sy) % 16}
+		dst := Coord{int(dx) % 16, int(dy) % 16}
+		tiles, err := g.RouteTiles(src, dst)
+		if err != nil {
+			return false
+		}
+		if len(tiles) != Manhattan(src, dst)+1 {
+			return false
+		}
+		if tiles[0] != src || tiles[len(tiles)-1] != dst {
+			return false
+		}
+		axisSwitches := 0
+		dirs, _ := g.Route(src, dst)
+		for i := 1; i < len(dirs); i++ {
+			if dirs[i].Axis() != dirs[i-1].Axis() {
+				axisSwitches++
+			}
+		}
+		for _, c := range tiles {
+			if !g.Contains(c) {
+				return false
+			}
+		}
+		return axisSwitches <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	l, err := LinkBetween(Coord{3, 3}, Coord{4, 3})
+	if err != nil || l.From != (Coord{3, 3}) || l.Dir != East {
+		t.Errorf("link = %+v err=%v, want {(3,3) East}", l, err)
+	}
+	// Canonicalization: reversed arguments give the same link.
+	l2, err := LinkBetween(Coord{4, 3}, Coord{3, 3})
+	if err != nil || l2 != l {
+		t.Errorf("reversed link = %+v, want %+v", l2, l)
+	}
+	l3, err := LinkBetween(Coord{2, 5}, Coord{2, 4})
+	if err != nil || l3.From != (Coord{2, 4}) || l3.Dir != South {
+		t.Errorf("vertical link = %+v err=%v", l3, err)
+	}
+	if _, err := LinkBetween(Coord{0, 0}, Coord{2, 0}); err == nil {
+		t.Error("non-adjacent tiles should fail")
+	}
+	if _, err := LinkBetween(Coord{0, 0}, Coord{0, 0}); err == nil {
+		t.Error("identical tiles should fail")
+	}
+}
+
+func TestLinksCount(t *testing.T) {
+	g := mustGrid(t, 4, 3)
+	// Horizontal: 3 per row × 3 rows = 9; vertical: 4 per column pair × 2 = 8.
+	if got := len(g.Links()); got != 17 {
+		t.Errorf("links = %d, want 17", got)
+	}
+	seen := map[Link]bool{}
+	for _, l := range g.Links() {
+		if seen[l] {
+			t.Errorf("duplicate link %+v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestRowMajorPlacement(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	p, err := RowMajorPlacement(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Home(0) != (Coord{0, 0}) || p.Home(5) != (Coord{1, 1}) || p.Home(15) != (Coord{3, 3}) {
+		t.Error("row-major homes wrong")
+	}
+	if p.MaxPairDistance() != 6 {
+		t.Errorf("max distance = %d, want 6", p.MaxPairDistance())
+	}
+}
+
+func TestSnakePlacementAdjacency(t *testing.T) {
+	// The Mobile Qubit Layout property: consecutive logical qubits are
+	// adjacent, so the QFT's visit order is all single-hop moves.
+	g := mustGrid(t, 16, 16)
+	p, err := SnakePlacement(g, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 1; q < 256; q++ {
+		if d := Manhattan(p.Home(q-1), p.Home(q)); d != 1 {
+			t.Errorf("qubits %d and %d are %d hops apart, want 1", q-1, q, d)
+		}
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	if _, err := RowMajorPlacement(g, 17); err == nil {
+		t.Error("too many qubits should fail")
+	}
+	if _, err := SnakePlacement(g, 0); err == nil {
+		t.Error("zero qubits should fail")
+	}
+}
+
+func TestHomePanicsOutOfRange(t *testing.T) {
+	g := mustGrid(t, 4, 4)
+	p, _ := RowMajorPlacement(g, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Home out of range should panic")
+		}
+	}()
+	p.Home(4)
+}
+
+func TestMeanPairDistance(t *testing.T) {
+	g := mustGrid(t, 2, 1)
+	p, _ := RowMajorPlacement(g, 2)
+	if d := p.MeanPairDistance(); d != 1 {
+		t.Errorf("mean distance = %g, want 1", d)
+	}
+	g16 := mustGrid(t, 16, 16)
+	p16, _ := RowMajorPlacement(g16, 256)
+	// Mean Manhattan distance on a 16x16 grid is ~2/3*16 ≈ 10.7.
+	if d := p16.MeanPairDistance(); d < 10 || d > 11.5 {
+		t.Errorf("16x16 mean distance = %g, want ~10.7", d)
+	}
+	single, _ := RowMajorPlacement(g16, 1)
+	if d := single.MeanPairDistance(); d != 0 {
+		t.Errorf("single qubit mean distance = %g, want 0", d)
+	}
+}

@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+// channel sets up a quantum channel from src to dst and teleports a
+// logical qubit across it, calling done when the data has arrived.
+//
+// Pipeline per batch of 2^PurifyDepth pairs (one purified output):
+//
+//	for each hop: [storage credit at next tile] -> [link pairs from the
+//	G node] -> [turn penalty if changing axis] -> [teleporter from the
+//	directional set] -> next hop
+//	then: [corrector] -> [queue purifier at both endpoints] -> output
+//
+// When all numBatches outputs are ready, the logical qubit's physical
+// qubits teleport over (in parallel, one delivered pair each).
+func (s *simulator) channel(src, dst mesh.Coord, done func()) {
+	if src == dst {
+		s.localOps++
+		done()
+		return
+	}
+	s.channels++
+	start := s.engine.Now()
+
+	dirs, err := s.cfg.Grid.Route(src, dst)
+	if err != nil {
+		panic(err) // placements are validated against the grid
+	}
+	tiles, err := s.cfg.Grid.RouteTiles(src, dst)
+	if err != nil {
+		panic(err)
+	}
+
+	ch := &channelRun{
+		sim:   s,
+		dirs:  dirs,
+		tiles: tiles,
+		done: func() {
+			s.latencies.Add(float64(s.engine.Now() - start))
+			done()
+		},
+	}
+	for b := 0; b < s.numBatches; b++ {
+		ch.startBatch()
+	}
+}
+
+// channelRun tracks one channel's in-flight batches.
+type channelRun struct {
+	sim      *simulator
+	dirs     []mesh.Direction
+	tiles    []mesh.Coord
+	outputs  int
+	done     func()
+	finished bool
+}
+
+func (ch *channelRun) startBatch() {
+	ch.hop(0)
+}
+
+// hop advances a batch from tiles[i] to tiles[i+1].
+func (ch *channelRun) hop(i int) {
+	s := ch.sim
+	from := ch.tiles[i]
+	to := ch.tiles[i+1]
+	dir := ch.dirs[i]
+
+	// Storage at the receiving T' node: traffic arrives from the
+	// opposite direction of travel.
+	store := s.nodes[s.cfg.Grid.Index(to)].Storage(opposite(dir))
+	store.Acquire(func() {
+		// Link pairs from the G node of the crossed link.
+		link, err := mesh.LinkBetween(from, to)
+		if err != nil {
+			panic(err)
+		}
+		g := s.gnodes[link]
+		g.Serve(s.genLatency(), func() {
+			// Teleporter from the sending node's directional set, plus a
+			// turn penalty when the route changes axis at this node.
+			node := s.nodes[s.cfg.Grid.Index(from)]
+			latency := s.teleportLatency()
+			if i > 0 && ch.dirs[i-1].Axis() != dir.Axis() {
+				latency += node.TurnPenalty()
+			}
+			node.TeleporterSet(dir.Axis()).Serve(latency, func() {
+				s.pairHops += uint64(s.cfg.batchPairs())
+				for k := 0; k < s.cfg.batchPairs(); k++ {
+					s.net.RecordTeleport()
+				}
+				// The batch now occupies storage at `to`; it frees its
+				// slot at the previous tile (held since the prior hop).
+				if i > 0 {
+					prev := s.nodes[s.cfg.Grid.Index(from)].Storage(opposite(ch.dirs[i-1]))
+					prev.Release()
+				}
+				if i+1 < len(ch.dirs) {
+					ch.hop(i + 1)
+				} else {
+					ch.arrive()
+				}
+			})
+		})
+	})
+}
+
+// arrive runs the endpoint stages for one batch: correction, then
+// synchronized queue purification at both endpoint P nodes.
+func (ch *channelRun) arrive() {
+	s := ch.sim
+	last := len(ch.tiles) - 1
+	dstIdx := s.cfg.Grid.Index(ch.tiles[last])
+	srcIdx := s.cfg.Grid.Index(ch.tiles[0])
+
+	// Corrector: the accumulated Pauli frame costs at most two
+	// single-qubit gates, applied to each pair of the batch in parallel.
+	correct := 2 * s.cfg.Params.Times.OneQubitGate
+	s.engine.Schedule(correct, func() {
+		// Queue purification holds one purifier unit at each endpoint,
+		// acquired in canonical index order to prevent circular wait.
+		lo, hi := srcIdx, dstIdx
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s.purify[lo].Acquire(func() {
+			s.purify[hi].Acquire(func() {
+				// Purify: free the arrival storage slot as the batch
+				// drains into the purifier.
+				storeDir := opposite(ch.dirs[len(ch.dirs)-1])
+				s.nodes[dstIdx].Storage(storeDir).Release()
+				latency := s.purifyBatchLatency(len(ch.dirs))
+				rounds := s.cfg.batchPairs() - 1 // tree of 2^d leaves has 2^d - 1 purifications
+				for k := 0; k < rounds; k++ {
+					s.net.RecordPurify()
+				}
+				s.engine.Schedule(latency, func() {
+					s.purify[hi].Release()
+					s.purify[lo].Release()
+					if s.rng != nil && s.rng.Float64() < s.cfg.PurifyFailureRate {
+						// The subtree is lost; send a replacement batch
+						// through the network (Figure 14's natural
+						// rebuild).
+						s.failedBatches++
+						ch.startBatch()
+						return
+					}
+					ch.output()
+				})
+			})
+		})
+	})
+}
+
+// output counts a purified pair; when all batches have produced theirs,
+// the data teleport fires.
+func (ch *channelRun) output() {
+	s := ch.sim
+	ch.outputs++
+	if ch.outputs < s.numBatches || ch.finished {
+		return
+	}
+	ch.finished = true
+	// All physical qubits of the logical qubit teleport in parallel,
+	// each consuming one delivered pair; the latency is one teleport
+	// plus the classical correction round trip over the path.
+	latency := s.cfg.Params.TeleportTime(len(ch.dirs)*s.cfg.HopCells) +
+		s.net.Latency(len(ch.dirs))
+	s.engine.Schedule(latency, ch.done)
+}
+
+// genLatency is the G-node service time for one batch of link pairs.
+func (s *simulator) genLatency() time.Duration {
+	return s.cfg.Params.GenerateTime() * time.Duration(ceilDiv(s.cfg.batchPairs(), s.cfg.Generators))
+}
+
+// teleportLatency is the teleporter-set service time for one batch: the
+// set's units work in parallel, so a batch needs ceil(batch/setSize)
+// rounds of the hop-local teleport time.
+func (s *simulator) teleportLatency() time.Duration {
+	setSize := s.cfg.Teleporters / 2
+	if setSize < 1 {
+		setSize = 1
+	}
+	rounds := ceilDiv(s.cfg.batchPairs(), setSize)
+	per := s.cfg.Params.TeleportTime(s.cfg.HopCells)
+	return per * time.Duration(rounds)
+}
+
+// purifyBatchLatency is the queue-purifier makespan for one batch: the
+// bottom level performs 2^(depth-1) sequential purifications and the
+// remaining levels add a pipeline-drain tail of depth-1 rounds; each
+// round exchanges classical bits across the channel (Eq 6).
+func (s *simulator) purifyBatchLatency(hops int) time.Duration {
+	depth := s.cfg.PurifyDepth
+	rounds := 1<<uint(depth-1) + depth - 1
+	per := s.cfg.Params.PurifyRoundTime(hops * s.cfg.HopCells)
+	return per * time.Duration(rounds)
+}
+
+func opposite(d mesh.Direction) mesh.Direction {
+	switch d {
+	case mesh.East:
+		return mesh.West
+	case mesh.West:
+		return mesh.East
+	case mesh.North:
+		return mesh.South
+	default:
+		return mesh.North
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// result assembles the Result from the simulator's counters.
+func (s *simulator) result(prog workload.Program) Result {
+	res := Result{
+		Exec:           s.engine.Now(),
+		Ops:            len(prog.Ops),
+		Channels:       s.channels,
+		LocalOps:       s.localOps,
+		PairsDelivered: s.channels * uint64(s.numBatches*s.cfg.batchPairs()),
+		PairHops:       s.pairHops,
+		Events:         s.engine.Processed(),
+	}
+	msgs, _, _, _ := s.net.Stats()
+	res.ClassicalMessages = msgs
+	res.FailedBatches = s.failedBatches
+	if s.latencies.Count() > 0 {
+		res.MeanChannelLatency = time.Duration(s.latencies.Mean())
+		res.MaxChannelLatency = time.Duration(s.latencies.Max())
+	}
+	var tu float64
+	for _, n := range s.nodes {
+		tu += n.Utilization()
+	}
+	res.TeleporterUtil = tu / float64(len(s.nodes))
+	var gu float64
+	links := s.cfg.Grid.Links() // deterministic order (map iteration is not)
+	for _, l := range links {
+		gu += s.gnodes[l].Utilization()
+	}
+	if len(links) > 0 {
+		res.GeneratorUtil = gu / float64(len(links))
+	}
+	var pu float64
+	for _, p := range s.purify {
+		pu += p.Utilization()
+	}
+	res.PurifierUtil = pu / float64(len(s.purify))
+	return res
+}

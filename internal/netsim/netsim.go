@@ -1,0 +1,428 @@
+// Package netsim is the event-driven communication simulator of the
+// paper's Section 5: a mesh grid of logical-qubit tiles with T'
+// (teleporter), G (generator), C (corrector) and P (queue purifier)
+// nodes, executing a logical instruction stream under dimension-order
+// routing, with full contention for teleporters, generators, purifiers
+// and per-link storage.
+//
+// Each logical communication sets up a quantum channel: EPR pairs are
+// chain-teleported hop by hop from source to destination (consuming a
+// link pair from the G node of every link crossed and a teleporter from
+// the directional set of every T' node left), then purified by
+// depth-PurifyDepth queue purifiers at both endpoints, and finally the
+// 7^CodeLevel physical qubits of the logical qubit are teleported with
+// the delivered high-fidelity pairs.
+//
+// Simulation granularity is one purifier batch: 2^PurifyDepth EPR pairs
+// move through the network as a unit, since exactly that many arrivals
+// produce one purified output pair (Figure 14).  With the paper's
+// parameters this is 8 pairs per batch and 49 batches (392 pairs) per
+// logical communication, matching Section 5.3.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/classical"
+	"repro/internal/ecc"
+	"repro/internal/mesh"
+	"repro/internal/phys"
+	"repro/internal/router"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Layout selects the logical-qubit placement policy of Section 5
+// (Figure 15).
+type Layout int
+
+const (
+	// HomeBase gives every logical qubit a fixed home tile with room for
+	// one visitor; the moving operand teleports in for each operation
+	// and teleports back home afterwards.
+	HomeBase Layout = iota
+	// MobileQubit lets the moving operand stay wherever it travels;
+	// qubits return home only after their final operation.  With the
+	// snake placement this makes the QFT walk almost entirely local.
+	MobileQubit
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case HomeBase:
+		return "HomeBase"
+	case MobileQubit:
+		return "MobileQubit"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Params are the device constants (Tables 1 and 2).
+	Params phys.Params
+	// Grid is the tile mesh; the paper simulates 16×16.
+	Grid mesh.Grid
+	// Layout is the placement policy.
+	Layout Layout
+	// Teleporters is t, the teleporter count per T' node (split into X
+	// and Y sets).
+	Teleporters int
+	// Generators is g, the generator count per G node (one G node per
+	// link).
+	Generators int
+	// Purifiers is p, the queue-purifier count per P node (one P node
+	// per tile).
+	Purifiers int
+	// PurifyDepth is the queue-purifier tree depth; the paper uses 3.
+	PurifyDepth int
+	// CodeLevel is the Steane concatenation level; the paper transports
+	// level-2 logical qubits (49 physical qubits).
+	CodeLevel int
+	// HopCells is the physical span of one mesh hop (600 cells).
+	HopCells int
+	// TurnCells is the in-router ballistic distance between teleporter
+	// sets, paid on X/Y turns.
+	TurnCells int
+	// PurifyFailureRate injects stochastic purification failure: each
+	// batch fails end-to-end purification with this probability and a
+	// replacement batch must be sent through the network (the queue
+	// purifier rebuilds the lost subtree naturally, Figure 14).  Zero
+	// disables injection and keeps the simulation fully deterministic.
+	PurifyFailureRate float64
+	// Seed drives the failure-injection RNG; runs with equal seeds are
+	// reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's simulation parameters on the given
+// grid with the given per-node resource counts.
+func DefaultConfig(grid mesh.Grid, layout Layout, t, g, p int) Config {
+	return Config{
+		Params:      phys.IonTrap2006(),
+		Grid:        grid,
+		Layout:      layout,
+		Teleporters: t,
+		Generators:  g,
+		Purifiers:   p,
+		PurifyDepth: 3,
+		CodeLevel:   2,
+		HopCells:    600,
+		TurnCells:   20,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Grid.Tiles() == 0 {
+		return fmt.Errorf("netsim: empty grid")
+	}
+	if c.Teleporters < 1 || c.Generators < 1 || c.Purifiers < 1 {
+		return fmt.Errorf("netsim: resource counts must be >= 1 (t=%d g=%d p=%d)",
+			c.Teleporters, c.Generators, c.Purifiers)
+	}
+	if c.PurifyDepth < 1 || c.PurifyDepth > 16 {
+		return fmt.Errorf("netsim: purify depth %d out of range [1,16]", c.PurifyDepth)
+	}
+	if c.CodeLevel < 0 {
+		return fmt.Errorf("netsim: code level %d must be >= 0", c.CodeLevel)
+	}
+	if c.HopCells < 1 {
+		return fmt.Errorf("netsim: hop cells must be >= 1, got %d", c.HopCells)
+	}
+	if c.TurnCells < 0 {
+		return fmt.Errorf("netsim: turn cells must be >= 0, got %d", c.TurnCells)
+	}
+	if c.PurifyFailureRate < 0 || c.PurifyFailureRate >= 1 {
+		return fmt.Errorf("netsim: purify failure rate must be in [0,1), got %g", c.PurifyFailureRate)
+	}
+	return nil
+}
+
+// batchPairs returns the EPR pairs per simulated batch (one purifier
+// tree's worth).
+func (c Config) batchPairs() int { return 1 << uint(c.PurifyDepth) }
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Exec is the total execution time of the instruction stream,
+	// including trailing return-home communications.
+	Exec time.Duration
+	// Ops is the number of logical operations executed.
+	Ops int
+	// Channels is the number of quantum channels set up (communications;
+	// Home Base pays two per op, there and back).
+	Channels uint64
+	// LocalOps is the number of ops that needed no network communication
+	// (operands co-located).
+	LocalOps uint64
+	// PairsDelivered is the total EPR pairs delivered to channel
+	// endpoints.
+	PairsDelivered uint64
+	// PairHops is the total pair-teleportations performed (the network
+	// strain metric of Figure 11).
+	PairHops uint64
+	// Events is the number of simulation events processed.
+	Events uint64
+	// ClassicalMessages is the classical control message count.
+	ClassicalMessages uint64
+	// FailedBatches counts purification batches lost to injected
+	// failures (and therefore re-sent).
+	FailedBatches uint64
+	// MeanChannelLatency is the average channel setup-to-data-delivery
+	// latency.
+	MeanChannelLatency time.Duration
+	// MaxChannelLatency is the worst channel latency.
+	MaxChannelLatency time.Duration
+	// TeleporterUtil, GeneratorUtil and PurifierUtil are mean resource
+	// utilizations over the run.
+	TeleporterUtil float64
+	GeneratorUtil  float64
+	PurifierUtil   float64
+}
+
+// simulator carries the live state of one run.
+type simulator struct {
+	cfg     Config
+	engine  *sim.Engine
+	nodes   []*router.Node              // per tile
+	purify  []*sim.Resource             // per tile P node
+	gnodes  map[mesh.Link]*sim.Resource // per link G node
+	net     *classical.Network
+	sch     *sched.Scheduler
+	place   *mesh.Placement
+	pos     []mesh.Coord // current position of each logical qubit
+	lastOp  []int        // final op index touching each qubit
+	pending int          // channels + gates in flight (for drain detection)
+
+	numBatches int
+	code       ecc.Code
+
+	channels      uint64
+	localOps      uint64
+	pairHops      uint64
+	failedBatches uint64
+	rng           *rand.Rand
+	latencies     sim.Tally
+}
+
+// Run executes the program on the configured machine and returns the
+// result.
+func Run(cfg Config, prog workload.Program) (Result, error) {
+	res, _, err := RunDetailed(cfg, prog)
+	return res, err
+}
+
+func (s *simulator) build(prog workload.Program) error {
+	cfg := s.cfg
+	var err error
+	code, err := ecc.Steane(cfg.CodeLevel)
+	if err != nil {
+		return err
+	}
+	s.code = code
+	s.numBatches = code.PairsPerLogicalTeleport()
+
+	switch cfg.Layout {
+	case HomeBase:
+		s.place, err = mesh.RowMajorPlacement(cfg.Grid, prog.Qubits)
+	case MobileQubit:
+		s.place, err = mesh.SnakePlacement(cfg.Grid, prog.Qubits)
+	default:
+		return fmt.Errorf("netsim: unknown layout %d", int(cfg.Layout))
+	}
+	if err != nil {
+		return err
+	}
+
+	// Storage is t cells per incoming link; we traffic in batches of
+	// batchPairs pairs.
+	storageBatches := cfg.Teleporters / cfg.batchPairs()
+	if storageBatches < 1 {
+		storageBatches = 1
+	}
+	rcfg := router.Config{
+		Teleporters:  cfg.Teleporters,
+		StorageUnits: storageBatches,
+		TurnCells:    cfg.TurnCells,
+		Params:       cfg.Params,
+	}
+	s.nodes = make([]*router.Node, cfg.Grid.Tiles())
+	for i := range s.nodes {
+		c := cfg.Grid.CoordOf(i)
+		var incoming []mesh.Direction
+		for _, d := range []mesh.Direction{mesh.East, mesh.West, mesh.North, mesh.South} {
+			// Traffic arriving "from direction d" entered over the link
+			// toward d; it exists if the neighbor in direction d does.
+			if cfg.Grid.Contains(c.Step(d)) {
+				incoming = append(incoming, d)
+			}
+		}
+		if len(incoming) == 0 {
+			incoming = []mesh.Direction{mesh.East} // 1x1 grid degenerate case
+		}
+		node, err := router.New(s.engine, c, incoming, rcfg)
+		if err != nil {
+			return err
+		}
+		s.nodes[i] = node
+	}
+
+	s.purify = make([]*sim.Resource, cfg.Grid.Tiles())
+	for i := range s.purify {
+		r, err := sim.NewResource(s.engine, fmt.Sprintf("P%v", cfg.Grid.CoordOf(i)), cfg.Purifiers)
+		if err != nil {
+			return err
+		}
+		s.purify[i] = r
+	}
+
+	s.gnodes = make(map[mesh.Link]*sim.Resource, 2*cfg.Grid.Tiles())
+	for _, l := range cfg.Grid.Links() {
+		r, err := sim.NewResource(s.engine, fmt.Sprintf("G%v%v", l.From, l.Dir), cfg.Generators)
+		if err != nil {
+			return err
+		}
+		s.gnodes[l] = r
+	}
+
+	s.net, err = classical.NewNetwork(cfg.Params, cfg.HopCells)
+	if err != nil {
+		return err
+	}
+
+	s.sch, err = sched.New(prog)
+	if err != nil {
+		return err
+	}
+
+	if cfg.PurifyFailureRate > 0 {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+
+	s.pos = make([]mesh.Coord, prog.Qubits)
+	s.lastOp = make([]int, prog.Qubits)
+	for q := range s.pos {
+		s.pos[q] = s.place.Home(q)
+		s.lastOp[q] = -1
+	}
+	for k, op := range prog.Ops {
+		s.lastOp[op.A] = k
+		s.lastOp[op.B] = k
+	}
+	return nil
+}
+
+// tryIssue starts every currently-ready op.
+func (s *simulator) tryIssue() {
+	for {
+		id, op, ok := s.sch.Issue()
+		if !ok {
+			return
+		}
+		s.startOp(id, op)
+	}
+}
+
+// startOp runs one logical operation according to the layout policy.
+func (s *simulator) startOp(id int, op workload.Op) {
+	s.pending++
+	switch s.cfg.Layout {
+	case HomeBase:
+		// B teleports to A's home, they interact, B teleports back.
+		home := s.place.Home(op.A)
+		back := s.place.Home(op.B)
+		s.channel(back, home, func() {
+			s.gate(func() {
+				s.channel(home, back, func() {
+					s.finishOp(id, op)
+				})
+			})
+		})
+	case MobileQubit:
+		// A travels from wherever it is to B's current tile and stays.
+		src := s.pos[op.A]
+		dst := s.pos[op.B]
+		s.channel(src, dst, func() {
+			s.pos[op.A] = dst
+			s.gate(func() {
+				s.finishOp(id, op)
+			})
+		})
+	}
+}
+
+// finishOp completes the op in the scheduler, fires any return-home
+// moves for qubits whose last op this was, and issues newly-ready work.
+func (s *simulator) finishOp(id int, op workload.Op) {
+	s.pending--
+	if err := s.sch.Complete(id); err != nil {
+		panic(err) // scheduler invariant violation: a simulator bug
+	}
+	if s.cfg.Layout == MobileQubit {
+		for _, q := range []int{op.A, op.B} {
+			if s.lastOp[q] == id && s.pos[q] != s.place.Home(q) {
+				q := q
+				s.pending++
+				s.channel(s.pos[q], s.place.Home(q), func() {
+					s.pos[q] = s.place.Home(q)
+					s.pending--
+				})
+			}
+		}
+	}
+	s.tryIssue()
+}
+
+// gate runs the local two-logical-qubit gate latency.
+func (s *simulator) gate(done func()) {
+	s.engine.Schedule(s.cfg.Params.Times.TwoQubitGate, done)
+}
+
+// Allocation is one point of the paper's Figure 16 resource sweep:
+// teleporters and generators are scaled to Ratio times the purifier
+// count while the total area T+G+P stays fixed.
+type Allocation struct {
+	// Ratio is t/p (and g/p), the x-axis of Figure 16.
+	Ratio int
+	// T, G and P are the per-node resource counts.
+	T, G, P int
+}
+
+// String renders the allocation like "t=g=4p (21/21/6)".
+func (a Allocation) String() string {
+	return fmt.Sprintf("t=g=%dp (%d/%d/%d)", a.Ratio, a.T, a.G, a.P)
+}
+
+// SweepAllocations builds the Figure 16 configurations: for each ratio r,
+// the area budget is split so t = g ≈ r·p and t + g + p = area, with
+// every count at least 1.
+func SweepAllocations(area int, ratios []int) ([]Allocation, error) {
+	if area < 3 {
+		return nil, fmt.Errorf("netsim: area budget %d too small to hold t, g and p", area)
+	}
+	out := make([]Allocation, 0, len(ratios))
+	for _, r := range ratios {
+		if r < 1 {
+			return nil, fmt.Errorf("netsim: ratio %d must be >= 1", r)
+		}
+		p := area / (2*r + 1)
+		if p < 1 {
+			p = 1
+		}
+		t := (area - p) / 2
+		if t < 1 {
+			t = 1
+		}
+		out = append(out, Allocation{Ratio: r, T: t, G: t, P: p})
+	}
+	return out, nil
+}

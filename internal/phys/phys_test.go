@@ -1,0 +1,210 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTable1Constants(t *testing.T) {
+	p := IonTrap2006()
+	if got, want := p.Times.OneQubitGate, 1*time.Microsecond; got != want {
+		t.Errorf("t1q = %v, want %v", got, want)
+	}
+	if got, want := p.Times.TwoQubitGate, 20*time.Microsecond; got != want {
+		t.Errorf("t2q = %v, want %v", got, want)
+	}
+	if got, want := p.Times.MoveCell, 200*time.Nanosecond; got != want {
+		t.Errorf("tmv = %v, want %v", got, want)
+	}
+	if got, want := p.Times.Measure, 100*time.Microsecond; got != want {
+		t.Errorf("tms = %v, want %v", got, want)
+	}
+}
+
+func TestTable1DerivedConstants(t *testing.T) {
+	p := IonTrap2006()
+	// Table 1 lists tgen = 122 µs, ttprt ≈ 122 µs, tprfy ≈ 121 µs.
+	if got, want := p.GenerateTime(), 122*time.Microsecond; got != want {
+		t.Errorf("tgen = %v, want %v", got, want)
+	}
+	if got, want := p.TeleportTime(0), 122*time.Microsecond; got != want {
+		t.Errorf("ttprt(0) = %v, want %v", got, want)
+	}
+	if got, want := p.PurifyRoundTime(0), 120*time.Microsecond; got != want {
+		// Eq 6 literally: t2q + tms = 120 µs; Table 1 rounds to ~121 µs.
+		t.Errorf("tprfy(0) = %v, want %v", got, want)
+	}
+}
+
+func TestTable2Constants(t *testing.T) {
+	p := IonTrap2006()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p1q", p.Errors.OneQubitGate, 1e-8},
+		{"p2q", p.Errors.TwoQubitGate, 1e-7},
+		{"pmv", p.Errors.MoveCell, 1e-6},
+		{"pms", p.Errors.Measure, 1e-8},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsBaseline(t *testing.T) {
+	if err := IonTrap2006().Validate(); err != nil {
+		t.Fatalf("baseline params should validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadTimes(t *testing.T) {
+	p := IonTrap2006()
+	p.Times.TwoQubitGate = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero two-qubit gate time should fail validation")
+	}
+	p = IonTrap2006()
+	p.Times.MoveCell = -time.Nanosecond
+	if err := p.Validate(); err == nil {
+		t.Error("negative move time should fail validation")
+	}
+	p = IonTrap2006()
+	p.Times.ClassicalBitPerCell = -time.Nanosecond
+	if err := p.Validate(); err == nil {
+		t.Error("negative classical time should fail validation")
+	}
+}
+
+func TestValidateRejectsBadProbabilities(t *testing.T) {
+	p := IonTrap2006()
+	p.Errors.MoveCell = 1.0
+	if err := p.Validate(); err == nil {
+		t.Error("error probability of 1 should fail validation")
+	}
+	p = IonTrap2006()
+	p.Errors.Measure = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative error probability should fail validation")
+	}
+}
+
+func TestWithUniformError(t *testing.T) {
+	p := IonTrap2006().WithUniformError(3e-6)
+	for name, got := range map[string]float64{
+		"p1q": p.Errors.OneQubitGate,
+		"p2q": p.Errors.TwoQubitGate,
+		"pmv": p.Errors.MoveCell,
+		"pms": p.Errors.Measure,
+	} {
+		if got != 3e-6 {
+			t.Errorf("%s = %g, want 3e-6", name, got)
+		}
+	}
+	// Times must be untouched.
+	if p.Times != IonTrap2006().Times {
+		t.Error("WithUniformError must not modify time constants")
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	p := IonTrap2006().Scale(1e20)
+	if p.Errors.MoveCell >= 1 {
+		t.Errorf("scaled pmv = %g, want < 1", p.Errors.MoveCell)
+	}
+	p = IonTrap2006().Scale(0)
+	if p.Errors.TwoQubitGate != 0 {
+		t.Errorf("scaled-to-zero p2q = %g, want 0", p.Errors.TwoQubitGate)
+	}
+}
+
+func TestScaleProperty(t *testing.T) {
+	base := IonTrap2006()
+	f := func(factorRaw uint16) bool {
+		factor := float64(factorRaw) / 1000.0 // 0 .. 65.5
+		p := base.Scale(factor)
+		if p.Validate() != nil {
+			return false
+		}
+		// Scaling by a factor <= 1/pmax can never clamp, so scaling must be exact.
+		if factor*base.Errors.MoveCell < 1 {
+			want := base.Errors.MoveCell * factor
+			if math.Abs(p.Errors.MoveCell-want) > 1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBallisticTime(t *testing.T) {
+	p := IonTrap2006()
+	if got, want := p.BallisticTime(600), 120*time.Microsecond; got != want {
+		t.Errorf("ballistic 600 cells = %v, want %v", got, want)
+	}
+	if got := p.BallisticTime(-5); got != 0 {
+		t.Errorf("negative distance should clamp to 0, got %v", got)
+	}
+}
+
+func TestTeleportTimeDistanceTerm(t *testing.T) {
+	p := IonTrap2006()
+	d0 := p.TeleportTime(0)
+	d1000 := p.TeleportTime(1000)
+	want := 1000 * p.Times.ClassicalBitPerCell
+	if d1000-d0 != want {
+		t.Errorf("classical distance term = %v, want %v", d1000-d0, want)
+	}
+}
+
+func TestCrossoverCellsMatchesPaper(t *testing.T) {
+	// Paper §4.6: "for a distance of about 600 cells, teleportation is
+	// faster than ballistic movement."
+	p := IonTrap2006()
+	d := p.CrossoverCells()
+	if d < 550 || d > 650 {
+		t.Errorf("crossover = %d cells, want ~600 (±50)", d)
+	}
+	// At the crossover, ballistic must indeed be at least as slow.
+	if p.BallisticTime(d) < p.TeleportTime(d) {
+		t.Errorf("at crossover %d: ballistic %v < teleport %v", d, p.BallisticTime(d), p.TeleportTime(d))
+	}
+	// One cell before, ballistic must still win or tie.
+	if p.BallisticTime(d-1) > p.TeleportTime(d-1) {
+		t.Errorf("one before crossover %d: ballistic %v > teleport %v", d-1, p.BallisticTime(d-1), p.TeleportTime(d-1))
+	}
+}
+
+func TestCrossoverNoSolution(t *testing.T) {
+	p := IonTrap2006()
+	p.Times.ClassicalBitPerCell = p.Times.MoveCell // classical as slow as moving
+	if got := p.CrossoverCells(); got != -1 {
+		t.Errorf("crossover with slow classical network = %d, want -1", got)
+	}
+}
+
+func TestStringContainsKeyNumbers(t *testing.T) {
+	s := IonTrap2006().String()
+	for _, want := range []string{"t2q=20µs", "pmv=1.0e-06"} {
+		if !containsSub(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,307 @@
+// Package purify implements entanglement purification: the DEJMPS
+// protocol (Deutsch et al. 1996) and the BBPSSW protocol (Bennett et al.
+// 1996), with noisy local operations, plus the resource accounting the
+// paper builds on them (Section 4.5, 4.7; Figures 8, 10, 11, 12) and the
+// queue-based purifier hardware model of Figure 14.
+//
+// Purification combines two lower-fidelity EPR pairs using local
+// operations at both channel endpoints and one round of classical
+// communication, producing one pair of higher fidelity with some success
+// probability; the sacrificed pair is measured and discarded.  Repeating
+// rounds in a tree raises fidelity further at a cost exponential in the
+// number of rounds.
+package purify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fidelity"
+	"repro/internal/phys"
+)
+
+// Protocol is a two-to-one entanglement purification protocol acting on
+// Bell-diagonal pairs.  Round consumes two input pairs and returns the
+// state of the surviving pair conditioned on success, together with the
+// success probability.  Implementations incorporate the local gate and
+// measurement noise of their phys.Params.
+type Protocol interface {
+	// Name identifies the protocol ("DEJMPS" or "BBPSSW").
+	Name() string
+	// Round purifies pair a with pair b.
+	Round(a, b fidelity.Bell) (out fidelity.Bell, pSuccess float64)
+}
+
+// DEJMPS is the Deutsch et al. protocol.  It operates on general
+// Bell-diagonal states (no twirling between rounds), which the paper
+// observes gives tighter bounds, faster convergence and higher maximum
+// fidelity than BBPSSW.
+type DEJMPS struct {
+	Params phys.Params
+}
+
+// Name implements Protocol.
+func (d DEJMPS) Name() string { return "DEJMPS" }
+
+// Round implements Protocol.  The ideal DEJMPS map on Bell-diagonal
+// coefficients (A, B, C, D) = (Φ+, Ψ−, Ψ+, Φ−) of the two inputs is
+//
+//	A' = (A₁A₂ + B₁B₂)/N    B' = (C₁D₂ + D₁C₂)/N
+//	C' = (C₁C₂ + D₁D₂)/N    D' = (A₁B₂ + B₁A₂)/N
+//	N  = (A₁+B₁)(A₂+B₂) + (C₁+D₁)(C₂+D₂)
+//
+// Noise model: each input pair first passes through a depolarizing
+// channel for the bilateral CNOT (one two-qubit gate at each endpoint)
+// and the DEJMPS single-qubit rotations; the keep/discard decision
+// compares one measurement outcome from each endpoint, and with
+// probability 2·pms(1−pms) the comparison is corrupted, admitting the
+// (maximally mixed, conservatively) reject branch.
+func (d DEJMPS) Round(a, b fidelity.Bell) (fidelity.Bell, float64) {
+	a = applyLocalGateNoise(d.Params, a, true)
+	b = applyLocalGateNoise(d.Params, b, true)
+	keep, n := dejmpsIdeal(a, b)
+	return applyMeasurementNoise(d.Params, keep, n)
+}
+
+// BBPSSW is the Bennett et al. protocol.  It twirls the state to Werner
+// form after every round ("partially randomizes its state", as the paper
+// puts it), which slows convergence by 5–10× relative to DEJMPS and
+// lowers the achievable maximum fidelity.
+type BBPSSW struct {
+	Params phys.Params
+}
+
+// Name implements Protocol.
+func (p BBPSSW) Name() string { return "BBPSSW" }
+
+// Round implements Protocol.  Inputs are twirled to Werner form, the
+// ideal map applied, noise folded in as for DEJMPS (minus the DEJMPS
+// rotations), and the output twirled again.
+func (p BBPSSW) Round(a, b fidelity.Bell) (fidelity.Bell, float64) {
+	a = applyLocalGateNoise(p.Params, a.Twirl(), false)
+	b = applyLocalGateNoise(p.Params, b.Twirl(), false)
+	keep, n := bbpsswIdeal(a, b)
+	out, ps := applyMeasurementNoise(p.Params, keep, n)
+	return out.Twirl(), ps
+}
+
+// dejmpsIdeal applies the noiseless DEJMPS map, returning the
+// (normalized) keep-branch state and the success probability N.
+func dejmpsIdeal(a, b fidelity.Bell) (fidelity.Bell, float64) {
+	n := (a.A+a.B)*(b.A+b.B) + (a.C+a.D)*(b.C+b.D)
+	if n <= 0 {
+		return fidelity.Werner(0.25), 0
+	}
+	return fidelity.Bell{
+		A: (a.A*b.A + a.B*b.B) / n,
+		B: (a.C*b.D + a.D*b.C) / n,
+		C: (a.C*b.C + a.D*b.D) / n,
+		D: (a.A*b.B + a.B*b.A) / n,
+	}, n
+}
+
+// bbpsswIdeal applies the noiseless BBPSSW map to two Werner inputs.
+// For Werner states the keep-branch map coincides with the classic
+// fidelity recurrence
+//
+//	F' = (F₁F₂ + (1−F₁)(1−F₂)/9) / N
+//	N  = F₁F₂ + F₁(1−F₂)/3 + F₂(1−F₁)/3 + 5(1−F₁)(1−F₂)/9
+func bbpsswIdeal(a, b fidelity.Bell) (fidelity.Bell, float64) {
+	f1, f2 := a.A, b.A
+	e1, e2 := (1-f1)/3, (1-f2)/3
+	n := f1*f2 + f1*e2 + f2*e1 + 5*e1*e2
+	if n <= 0 {
+		return fidelity.Werner(0.25), 0
+	}
+	fNew := (f1*f2 + e1*e2) / n
+	// Distribute the remaining mass per the Bell-basis bookkeeping; the
+	// subsequent twirl flattens it, so Werner is exact here.
+	return fidelity.Werner(fNew), n
+}
+
+// applyLocalGateNoise depolarizes a pair for the two-qubit gates of the
+// bilateral CNOT (one at each endpoint) and, if rotations is true, the
+// DEJMPS single-qubit pre-rotations (one at each endpoint).
+func applyLocalGateNoise(p phys.Params, s fidelity.Bell, rotations bool) fidelity.Bell {
+	g := 1 - (1-p.Errors.TwoQubitGate)*(1-p.Errors.TwoQubitGate)
+	if rotations {
+		g = 1 - (1-g)*(1-p.Errors.OneQubitGate)*(1-p.Errors.OneQubitGate)
+	}
+	return s.Depolarize(g)
+}
+
+// applyMeasurementNoise folds the imperfect keep/discard comparison into
+// the keep-branch state.  The comparison of the two endpoint measurement
+// outcomes is corrupted with probability eps = 2·pms(1−pms): a true
+// reject is then accepted (contributing junk, modeled as maximally
+// mixed) and a true accept is rejected (lowering success probability).
+func applyMeasurementNoise(p phys.Params, keep fidelity.Bell, n float64) (fidelity.Bell, float64) {
+	pm := p.Errors.Measure
+	eps := 2 * pm * (1 - pm)
+	pAccept := (1-eps)*n + eps*(1-n)
+	if pAccept <= 0 {
+		return fidelity.Werner(0.25), 0
+	}
+	wKeep := (1 - eps) * n / pAccept
+	wJunk := eps * (1 - n) / pAccept
+	mixed := fidelity.Werner(0.25)
+	out := fidelity.Bell{
+		A: wKeep*keep.A + wJunk*mixed.A,
+		B: wKeep*keep.B + wJunk*mixed.B,
+		C: wKeep*keep.C + wJunk*mixed.C,
+		D: wKeep*keep.D + wJunk*mixed.D,
+	}
+	return out, pAccept
+}
+
+// RoundResult records the state of the surviving pairs after one level of
+// tree purification, the per-round success probability, and the expected
+// number of raw input pairs consumed per surviving pair so far.
+type RoundResult struct {
+	// Round is the 1-based round (tree level) index.
+	Round int
+	// State is the Bell-diagonal state of pairs surviving this round.
+	State fidelity.Bell
+	// PSuccess is the probability this round's purification succeeded.
+	PSuccess float64
+	// ExpectedPairs is the expected number of raw pairs consumed to yield
+	// one pair at this level: the product over rounds of 2/PSuccess.
+	ExpectedPairs float64
+}
+
+// Rounds performs up to maxRounds symmetric tree-purification rounds
+// starting from initial, recording each level.  In tree purification all
+// pairs at a level share the same state, so each round combines two
+// identical copies.
+func Rounds(proto Protocol, initial fidelity.Bell, maxRounds int) []RoundResult {
+	results := make([]RoundResult, 0, maxRounds)
+	state := initial
+	pairs := 1.0
+	for r := 1; r <= maxRounds; r++ {
+		next, ps := proto.Round(state, state)
+		if ps <= 0 {
+			break
+		}
+		pairs *= 2 / ps
+		state = next
+		results = append(results, RoundResult{Round: r, State: state, PSuccess: ps, ExpectedPairs: pairs})
+	}
+	return results
+}
+
+// RoundsToReach returns the minimum number of tree-purification rounds
+// needed to bring the pair error at or below targetError, along with the
+// final state and the expected raw pairs consumed per output pair.
+// ok is false if maxRounds rounds cannot reach the target (e.g. the
+// protocol's noise floor is above it).
+func RoundsToReach(proto Protocol, initial fidelity.Bell, targetError float64, maxRounds int) (rounds int, final fidelity.Bell, expectedPairs float64, ok bool) {
+	if initial.Error() <= targetError {
+		return 0, initial, 1, true
+	}
+	state := initial
+	pairs := 1.0
+	prevErr := initial.Error()
+	for r := 1; r <= maxRounds; r++ {
+		next, ps := proto.Round(state, state)
+		if ps <= 0 {
+			return 0, state, pairs, false
+		}
+		pairs *= 2 / ps
+		state = next
+		if state.Error() <= targetError {
+			return r, state, pairs, true
+		}
+		// Detect a converged noise floor above the target: no meaningful
+		// progress over a round.
+		if state.Error() >= prevErr*(1-1e-9) && r > 1 {
+			return 0, state, pairs, false
+		}
+		prevErr = state.Error()
+	}
+	return 0, state, pairs, false
+}
+
+// MaxFidelity iterates the protocol to (near) convergence and returns the
+// fixed-point fidelity — the maximum achievable fidelity given the
+// operation error rates.  The paper's Figure 12 shows the whole
+// distribution network breaking down when this drops below the
+// fault-tolerance threshold.
+func MaxFidelity(proto Protocol, initial fidelity.Bell) float64 {
+	state := initial
+	best := state.Fidelity()
+	for r := 0; r < 200; r++ {
+		next, ps := proto.Round(state, state)
+		if ps <= 0 {
+			break
+		}
+		if math.Abs(next.Fidelity()-state.Fidelity()) < 1e-15 {
+			state = next
+			break
+		}
+		state = next
+		if state.Fidelity() > best {
+			best = state.Fidelity()
+		}
+	}
+	if state.Fidelity() > best {
+		best = state.Fidelity()
+	}
+	return best
+}
+
+// Fig8Point is one sample of the paper's Figure 8: error after a given
+// number of purification rounds for a protocol and initial fidelity.
+type Fig8Point struct {
+	Protocol        string
+	InitialFidelity float64
+	Round           int
+	Error           float64
+}
+
+// Fig8Series reproduces Figure 8: error rate (1-fidelity) of surviving
+// EPR pairs as a function of purification rounds for each protocol and
+// initial fidelity.  Round 0 records the initial error.
+func Fig8Series(p phys.Params, initialFidelities []float64, maxRounds int) []Fig8Point {
+	var out []Fig8Point
+	for _, proto := range []Protocol{BBPSSW{p}, DEJMPS{p}} {
+		for _, f0 := range initialFidelities {
+			initial := fidelity.Werner(f0)
+			out = append(out, Fig8Point{proto.Name(), f0, 0, initial.Error()})
+			for _, r := range Rounds(proto, initial, maxRounds) {
+				out = append(out, Fig8Point{proto.Name(), f0, r.Round, r.State.Error()})
+			}
+		}
+	}
+	return out
+}
+
+// TreePairs returns the number of input pairs a full purification tree of
+// depth rounds consumes in the noiseless, always-succeeding limit: 2^rounds.
+func TreePairs(rounds int) int {
+	if rounds < 0 {
+		return 0
+	}
+	if rounds > 62 {
+		panic(fmt.Sprintf("purify: tree depth %d overflows", rounds))
+	}
+	return 1 << uint(rounds)
+}
+
+// ConvergenceRounds returns the number of rounds each protocol needs to
+// come within slack of its maximum fidelity, starting from initial.
+// The paper reports BBPSSW needing 5–10× the rounds of DEJMPS.
+func ConvergenceRounds(proto Protocol, initial fidelity.Bell, slack float64, maxRounds int) int {
+	maxF := MaxFidelity(proto, initial)
+	state := initial
+	for r := 1; r <= maxRounds; r++ {
+		next, ps := proto.Round(state, state)
+		if ps <= 0 {
+			return -1
+		}
+		state = next
+		if state.Fidelity() >= maxF-slack {
+			return r
+		}
+	}
+	return -1
+}

@@ -1,0 +1,185 @@
+// Package quantum is a small state-vector simulator used to validate the
+// circuit-level building blocks the architecture models abstract over:
+// the teleportation protocol of Figure 3 (local operations, two classical
+// bits, Pauli corrections) and the purification round of Figure 7
+// (bilateral CNOT, measurement comparison).
+//
+// The architecture packages never run amplitudes — they use the
+// fidelity recurrences of Section 4 — but the tests here pin those
+// recurrences to the actual quantum mechanics for small systems.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// State is a pure quantum state of n qubits: 2^n complex amplitudes.
+// Qubit 0 is the most significant bit of the basis index, matching the
+// usual circuit-diagram reading order.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns the all-zeros computational basis state |0...0> of n
+// qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > 20 {
+		return nil, fmt.Errorf("quantum: qubit count %d out of range [1,20]", n)
+	}
+	amp := make([]complex128, 1<<uint(n))
+	amp[0] = 1
+	return &State{n: n, amp: amp}, nil
+}
+
+// Qubits returns the number of qubits.
+func (s *State) Qubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state i.
+func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
+
+// Norm returns the state's norm (should be 1).
+func (s *State) Norm() float64 {
+	var t float64
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// bit returns the value of qubit q in basis index i.
+func (s *State) bit(i, q int) int {
+	return (i >> uint(s.n-1-q)) & 1
+}
+
+// flip returns basis index i with qubit q flipped.
+func (s *State) flip(i, q int) int {
+	return i ^ (1 << uint(s.n-1-q))
+}
+
+// ApplyOne applies a single-qubit unitary [[a,b],[c,d]] to qubit q.
+func (s *State) ApplyOne(q int, a, b, c, d complex128) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d out of range", q))
+	}
+	for i := range s.amp {
+		if s.bit(i, q) == 0 {
+			j := s.flip(i, q)
+			a0, a1 := s.amp[i], s.amp[j]
+			s.amp[i] = a*a0 + b*a1
+			s.amp[j] = c*a0 + d*a1
+		}
+	}
+}
+
+// H applies a Hadamard gate to qubit q.
+func (s *State) H(q int) {
+	r := complex(1/math.Sqrt2, 0)
+	s.ApplyOne(q, r, r, r, -r)
+}
+
+// X applies a bit flip to qubit q.
+func (s *State) X(q int) { s.ApplyOne(q, 0, 1, 1, 0) }
+
+// Z applies a phase flip to qubit q.
+func (s *State) Z(q int) { s.ApplyOne(q, 1, 0, 0, -1) }
+
+// Y applies the Pauli Y gate to qubit q.
+func (s *State) Y(q int) { s.ApplyOne(q, 0, -1i, 1i, 0) }
+
+// CNOT applies a controlled-NOT with the given control and target.
+func (s *State) CNOT(control, target int) {
+	if control == target {
+		panic("quantum: CNOT control equals target")
+	}
+	for i := range s.amp {
+		if s.bit(i, control) == 1 && s.bit(i, target) == 0 {
+			j := s.flip(i, target)
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// Measure projects qubit q in the computational basis using rng for the
+// outcome, returning the observed bit.  The state collapses and is
+// renormalized.
+func (s *State) Measure(q int, rng *rand.Rand) int {
+	var p1 float64
+	for i, a := range s.amp {
+		if s.bit(i, q) == 1 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.project(q, outcome)
+	return outcome
+}
+
+// project collapses qubit q to the given value and renormalizes.
+func (s *State) project(q, value int) {
+	var norm float64
+	for i, a := range s.amp {
+		if s.bit(i, q) != value {
+			s.amp[i] = 0
+		} else {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if norm == 0 {
+		panic("quantum: projecting onto zero-probability outcome")
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.amp {
+		s.amp[i] *= scale
+	}
+}
+
+// PrepareEPR entangles qubits a and b (assumed |00>) into the Bell state
+// Φ+ = (|00> + |11>)/√2 — the paper's EPR pair generation (Eq 4 with
+// perfect gates).
+func (s *State) PrepareEPR(a, b int) {
+	s.H(a)
+	s.CNOT(a, b)
+}
+
+// FidelityTo returns |<other|s>|² for two states of equal size.
+func (s *State) FidelityTo(other *State) float64 {
+	if other.n != s.n {
+		panic("quantum: comparing states of different sizes")
+	}
+	var in complex128
+	for i := range s.amp {
+		in += cmplx.Conj(other.amp[i]) * s.amp[i]
+	}
+	return real(in)*real(in) + imag(in)*imag(in)
+}
+
+// Teleport runs the Figure 3 protocol: the state of qubit data is
+// transferred onto qubit eprB using the entangled pair (eprA, eprB).
+// The three qubits must be distinct; (eprA, eprB) must already hold an
+// EPR pair.  Returns the two classical bits sent to the target side.
+//
+// After the call, qubit eprB carries the former state of data (the
+// no-cloning theorem is respected: data collapses during the protocol).
+func (s *State) Teleport(data, eprA, eprB int, rng *rand.Rand) (m1, m2 int) {
+	// Local operations at the source (step 2): CNOT data->eprA, H data.
+	s.CNOT(data, eprA)
+	s.H(data)
+	// Measure both source qubits (the two classical bits of step 3).
+	m1 = s.Measure(data, rng)
+	m2 = s.Measure(eprA, rng)
+	// Correction at the target (step 4).
+	if m2 == 1 {
+		s.X(eprB)
+	}
+	if m1 == 1 {
+		s.Z(eprB)
+	}
+	return m1, m2
+}

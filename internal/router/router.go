@@ -1,0 +1,115 @@
+// Package router models the quantum router of the paper's Figure 6: a T'
+// node whose teleporters are partitioned into two equal sets — one for
+// X-direction traffic, one for Y-direction traffic — with t storage cells
+// per incoming link (4t per node) and a ballistic move between the sets
+// when a route turns.  Sets are time multiplexed between the channels
+// crossing the node, which the FIFO resource queue models.
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Node is one T' node's contended hardware: two teleporter sets and
+// per-incoming-link storage.
+type Node struct {
+	coord   mesh.Coord
+	sets    [2]*sim.Resource
+	storage map[mesh.Direction]*sim.Semaphore
+	params  phys.Params
+
+	turns     uint64
+	turnCells int
+}
+
+// Config sizes a router node.
+type Config struct {
+	// Teleporters is t, the total teleporter count; it is split into an
+	// X set and a Y set of t/2 each (minimum 1 per set).
+	Teleporters int
+	// StorageUnits is the per-incoming-link storage capacity in whatever
+	// unit the caller traffics in (pairs, or batches of pairs).
+	StorageUnits int
+	// TurnCells is the ballistic distance between the X and Y teleporter
+	// sets, paid when a route turns at this node.
+	TurnCells int
+	// Params supplies movement timing for the turn penalty.
+	Params phys.Params
+}
+
+// New builds a router node at coord with storage on the given incoming
+// directions (border tiles have fewer than four).
+func New(engine *sim.Engine, coord mesh.Coord, incoming []mesh.Direction, cfg Config) (*Node, error) {
+	if cfg.Teleporters < 1 {
+		return nil, fmt.Errorf("router: node %v needs >= 1 teleporter, got %d", coord, cfg.Teleporters)
+	}
+	if cfg.StorageUnits < 1 {
+		return nil, fmt.Errorf("router: node %v needs >= 1 storage unit, got %d", coord, cfg.StorageUnits)
+	}
+	if cfg.TurnCells < 0 {
+		return nil, fmt.Errorf("router: node %v turn distance must be >= 0, got %d", coord, cfg.TurnCells)
+	}
+	perSet := cfg.Teleporters / 2
+	if perSet < 1 {
+		perSet = 1
+	}
+	n := &Node{
+		coord:     coord,
+		storage:   make(map[mesh.Direction]*sim.Semaphore, len(incoming)),
+		params:    cfg.Params,
+		turnCells: cfg.TurnCells,
+	}
+	for axis := 0; axis < 2; axis++ {
+		r, err := sim.NewResource(engine, fmt.Sprintf("T'%v/axis%d", coord, axis), perSet)
+		if err != nil {
+			return nil, err
+		}
+		n.sets[axis] = r
+	}
+	for _, d := range incoming {
+		s, err := sim.NewSemaphore(fmt.Sprintf("storage%v/%v", coord, d), cfg.StorageUnits)
+		if err != nil {
+			return nil, err
+		}
+		n.storage[d] = s
+	}
+	return n, nil
+}
+
+// Coord returns the node's tile.
+func (n *Node) Coord() mesh.Coord { return n.coord }
+
+// TeleporterSet returns the teleporter resource for the given axis
+// (0 = X-direction traffic, 1 = Y-direction traffic).
+func (n *Node) TeleporterSet(axis int) *sim.Resource {
+	if axis != 0 && axis != 1 {
+		panic(fmt.Sprintf("router: axis %d out of range", axis))
+	}
+	return n.sets[axis]
+}
+
+// Storage returns the incoming-storage semaphore for traffic arriving
+// from the given direction, or nil when the node has no link there.
+func (n *Node) Storage(fromDir mesh.Direction) *sim.Semaphore {
+	return n.storage[fromDir]
+}
+
+// TurnPenalty returns the ballistic-move latency for switching between
+// the X and Y teleporter sets and counts the turn.
+func (n *Node) TurnPenalty() time.Duration {
+	n.turns++
+	return n.params.BallisticTime(n.turnCells)
+}
+
+// Turns returns the number of turns taken through this node.
+func (n *Node) Turns() uint64 { return n.turns }
+
+// Utilization returns the mean utilization of the two teleporter sets.
+func (n *Node) Utilization() float64 {
+	return (n.sets[0].Utilization() + n.sets[1].Utilization()) / 2
+}

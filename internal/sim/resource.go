@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource is a capacity-limited server with a FIFO wait queue, driven by
+// an Engine.  It models hardware units that serve one job at a time per
+// unit — teleporters in a T' node set, generators in a G node, queue
+// purifiers in a P node.
+//
+// Acquire enqueues a job; when a unit is free the job callback runs (at
+// the engine's current time).  The callback must eventually call Release
+// exactly once (typically after scheduling the service latency).
+type Resource struct {
+	name     string
+	engine   *Engine
+	capacity int
+	inUse    int
+	waiting  []func()
+
+	// Statistics.
+	acquired   uint64
+	maxQueue   int
+	busyTime   time.Duration
+	lastChange time.Duration
+}
+
+// NewResource creates a resource with the given unit count.
+func NewResource(engine *Engine, name string, capacity int) (*Resource, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("sim: resource %q needs an engine", name)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("sim: resource %q capacity must be >= 1, got %d", name, capacity)
+	}
+	return &Resource{name: name, engine: engine, capacity: capacity}, nil
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently serving jobs.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of jobs waiting for a unit.
+func (r *Resource) QueueLen() int { return len(r.waiting) }
+
+// Acquire requests a unit and runs job once one is available.  If a unit
+// is free now, job runs synchronously.
+func (r *Resource) Acquire(job func()) {
+	if job == nil {
+		panic(fmt.Sprintf("sim: resource %q: nil job", r.name))
+	}
+	if r.inUse < r.capacity {
+		r.grab()
+		job()
+		return
+	}
+	r.waiting = append(r.waiting, job)
+	if len(r.waiting) > r.maxQueue {
+		r.maxQueue = len(r.waiting)
+	}
+}
+
+// Release frees a unit, immediately handing it to the oldest waiting job
+// if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("sim: resource %q released more than acquired", r.name))
+	}
+	r.accountBusy()
+	r.inUse--
+	if len(r.waiting) == 0 {
+		return
+	}
+	job := r.waiting[0]
+	copy(r.waiting, r.waiting[1:])
+	r.waiting[len(r.waiting)-1] = nil
+	r.waiting = r.waiting[:len(r.waiting)-1]
+	r.grab()
+	job()
+}
+
+// Serve is the common acquire-serve-release pattern: wait for a unit,
+// hold it for latency of simulated time, then run done (may be nil).
+func (r *Resource) Serve(latency time.Duration, done func()) {
+	r.Acquire(func() {
+		r.engine.Schedule(latency, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func (r *Resource) grab() {
+	r.accountBusy()
+	r.inUse++
+	r.acquired++
+}
+
+func (r *Resource) accountBusy() {
+	now := r.engine.Now()
+	r.busyTime += time.Duration(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Stats returns cumulative counters: total acquisitions, the maximum
+// observed queue length, and the aggregate unit-busy time (unit-seconds
+// of service).
+func (r *Resource) Stats() (acquired uint64, maxQueue int, busy time.Duration) {
+	r.accountBusy()
+	return r.acquired, r.maxQueue, r.busyTime
+}
+
+// Utilization returns the fraction of unit-time spent busy since the
+// start of the simulation (0 if no time has passed).
+func (r *Resource) Utilization() float64 {
+	r.accountBusy()
+	total := time.Duration(r.capacity) * r.engine.Now()
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.busyTime) / float64(total)
+}
+
+// Tally accumulates scalar observations: count, sum, min, max and mean.
+type Tally struct {
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	if t.n == 0 || x < t.min {
+		t.min = x
+	}
+	if t.n == 0 || x > t.max {
+		t.max = x
+	}
+	t.n++
+	t.sum += x
+}
+
+// Count returns the number of observations.
+func (t *Tally) Count() uint64 { return t.n }
+
+// Sum returns the sum of observations.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// Mean returns the average observation (0 when empty).
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation (0 when empty).
+func (t *Tally) Max() float64 { return t.max }

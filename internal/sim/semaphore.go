@@ -1,0 +1,80 @@
+package sim
+
+import "fmt"
+
+// Semaphore is a counting semaphore with a FIFO waiter queue, used for
+// credit-based flow control (e.g. the per-link incoming storage cells of
+// a T' node).  Unlike Resource it has no notion of service time: callers
+// take and return credits explicitly.
+type Semaphore struct {
+	name    string
+	credits int
+	limit   int
+	waiting []func()
+	maxWait int
+}
+
+// NewSemaphore creates a semaphore holding limit credits.
+func NewSemaphore(name string, limit int) (*Semaphore, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("sim: semaphore %q limit must be >= 1, got %d", name, limit)
+	}
+	return &Semaphore{name: name, credits: limit, limit: limit}, nil
+}
+
+// Name returns the semaphore's name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Limit returns the total credit count.
+func (s *Semaphore) Limit() int { return s.limit }
+
+// Available returns the number of free credits.
+func (s *Semaphore) Available() int { return s.credits }
+
+// Waiting returns the number of queued acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiting) }
+
+// MaxWaiting returns the largest observed waiter queue.
+func (s *Semaphore) MaxWaiting() int { return s.maxWait }
+
+// Acquire takes one credit, running fn immediately if a credit is free,
+// otherwise queueing fn until Release provides one.
+func (s *Semaphore) Acquire(fn func()) {
+	if fn == nil {
+		panic(fmt.Sprintf("sim: semaphore %q: nil acquire function", s.name))
+	}
+	if s.credits > 0 {
+		s.credits--
+		fn()
+		return
+	}
+	s.waiting = append(s.waiting, fn)
+	if len(s.waiting) > s.maxWait {
+		s.maxWait = len(s.waiting)
+	}
+}
+
+// TryAcquire takes a credit without queueing; it reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.credits > 0 {
+		s.credits--
+		return true
+	}
+	return false
+}
+
+// Release returns one credit, handing it to the oldest waiter if any.
+func (s *Semaphore) Release() {
+	if len(s.waiting) > 0 {
+		fn := s.waiting[0]
+		copy(s.waiting, s.waiting[1:])
+		s.waiting[len(s.waiting)-1] = nil
+		s.waiting = s.waiting[:len(s.waiting)-1]
+		fn()
+		return
+	}
+	if s.credits >= s.limit {
+		panic(fmt.Sprintf("sim: semaphore %q released above its limit %d", s.name, s.limit))
+	}
+	s.credits++
+}

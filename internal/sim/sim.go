@@ -1,0 +1,143 @@
+// Package sim is a small deterministic discrete-event simulation engine:
+// an event heap with stable FIFO ordering for simultaneous events, plus
+// capacity-limited resources and basic statistics used by the network
+// simulator.  It plays the role of the event-driven core of the paper's
+// (Java) communication simulator.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulator clock and pending-event queue.
+// Events scheduled for the same instant run in scheduling order, which
+// keeps simulations deterministic.
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	stepped uint64
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.stepped }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// Schedule runs fn after delay of simulated time.  A negative delay is
+// treated as zero (run at the current instant, after already-queued
+// events for that instant).
+func (e *Engine) Schedule(delay time.Duration, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulation time t.  Scheduling in the past is an
+// error that panics: it indicates a broken model rather than a
+// recoverable condition.
+func (e *Engine) At(t time.Duration, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return EventID(e.seq)
+}
+
+// Cancel removes a pending event.  It reports whether the event was
+// found (an already-executed or unknown ID returns false).
+func (e *Engine) Cancel(id EventID) bool {
+	for i, ev := range e.events {
+		if ev.seq == uint64(id) {
+			heap.Remove(&e.events, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.stepped++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or the event budget is
+// exhausted, returning the number executed.  A budget of 0 means
+// unlimited.
+func (e *Engine) Run(budget uint64) uint64 {
+	var n uint64
+	for {
+		if budget > 0 && n >= budget {
+			return n
+		}
+		if !e.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+// RunUntil executes events with time at or before t, then advances the
+// clock to t.  Events scheduled after t remain pending.
+func (e *Engine) RunUntil(t time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

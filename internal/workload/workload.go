@@ -1,0 +1,103 @@
+// Package workload generates the logical instruction streams of the
+// paper's Section 5.2 benchmarks: the Quantum Fourier Transform (QFT,
+// all-to-all communication), Modular Multiplication (MM, bipartite
+// communication) and Modular Exponentiation (ME, alternating squaring and
+// multiplication steps) — the three communication-intensive components of
+// Shor's factorization algorithm.
+package workload
+
+import "fmt"
+
+// Op is one two-logical-qubit operation.  A is the qubit that travels in
+// the Mobile Qubit layout (the paper's mobile QFT walks the
+// lower-numbered qubit along the line); B stays at its node.
+type Op struct {
+	A, B int
+}
+
+// String renders the op as "A-B".
+func (o Op) String() string { return fmt.Sprintf("%d-%d", o.A, o.B) }
+
+// Program is a named logical instruction stream over a set of logical
+// qubits.
+type Program struct {
+	Name   string
+	Qubits int
+	Ops    []Op
+}
+
+// Validate checks that every op references distinct, in-range qubits.
+func (p Program) Validate() error {
+	if p.Qubits < 1 {
+		return fmt.Errorf("workload: program %q has %d qubits", p.Name, p.Qubits)
+	}
+	for i, op := range p.Ops {
+		if op.A == op.B {
+			return fmt.Errorf("workload: program %q op %d (%v) uses one qubit twice", p.Name, i, op)
+		}
+		if op.A < 0 || op.A >= p.Qubits || op.B < 0 || op.B >= p.Qubits {
+			return fmt.Errorf("workload: program %q op %d (%v) out of range [0,%d)", p.Name, i, op, p.Qubits)
+		}
+	}
+	return nil
+}
+
+// QFT returns the Quantum Fourier Transform communication pattern on n
+// logical qubits: every qubit interacts once with every other qubit, in
+// numerical order.  With 1-based labels the stream begins 1-2, 1-3,
+// (1-4, 2-3), (1-5, 2-4), (1-6, 2-5, 3-4) — pairs ordered by label sum,
+// with pairs of equal sum independent and thus schedulable in parallel
+// (the paper's parenthesized groups).  Labels here are 0-based.
+func QFT(n int) Program {
+	if n < 2 {
+		return Program{Name: "QFT", Qubits: n}
+	}
+	ops := make([]Op, 0, n*(n-1)/2)
+	// sum ranges over i+j for 0 <= i < j < n.
+	for sum := 1; sum <= 2*n-3; sum++ {
+		lo := 0
+		if sum >= n {
+			lo = sum - n + 1
+		}
+		for i := lo; i < sum-i; i++ {
+			ops = append(ops, Op{A: i, B: sum - i})
+		}
+	}
+	return Program{Name: "QFT", Qubits: n, Ops: ops}
+}
+
+// ModMult returns the Modular Multiplication pattern between two sets of
+// n logical qubits (2n total): every qubit of set A (labels 0..n-1)
+// interacts once with every qubit of set B (labels n..2n-1).  Ops are
+// emitted in n rounds of n independent pairs (a round-robin), so rounds
+// serialize per qubit while each round is fully parallel.
+func ModMult(n int) Program {
+	if n < 1 {
+		return Program{Name: "MM", Qubits: 2 * n}
+	}
+	ops := make([]Op, 0, n*n)
+	for shift := 0; shift < n; shift++ {
+		for a := 0; a < n; a++ {
+			ops = append(ops, Op{A: a, B: n + (a+shift)%n})
+		}
+	}
+	return Program{Name: "MM", Qubits: 2 * n, Ops: ops}
+}
+
+// ModExp returns a Modular Exponentiation pattern over two sets of n
+// qubits: steps iterations, each consisting of a squaring step
+// (all-to-all within set A, the QFT pattern) followed by a multiplication
+// step (bipartite between the sets, the MM pattern).
+func ModExp(n, steps int) Program {
+	p := Program{Name: "ME", Qubits: 2 * n}
+	if n < 1 || steps < 1 {
+		return p
+	}
+	sq := QFT(n)
+	mm := ModMult(n)
+	for s := 0; s < steps; s++ {
+		p.Ops = append(p.Ops, sq.Ops...)
+		p.Ops = append(p.Ops, mm.Ops...)
+	}
+	return p
+}

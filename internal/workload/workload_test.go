@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQFTOpCount(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 16, 256} {
+		p := QFT(n)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("QFT(%d): %v", n, err)
+		}
+		if want := n * (n - 1) / 2; len(p.Ops) != want {
+			t.Errorf("QFT(%d) has %d ops, want %d", n, len(p.Ops), want)
+		}
+	}
+}
+
+func TestQFTPaperOrder(t *testing.T) {
+	// Paper §5.2 (1-based): 1-2, 1-3, (1-4, 2-3), (1-5, 2-4),
+	// (1-6, 2-5, 3-4).  0-based: 0-1, 0-2, 0-3, 1-2, 0-4, 1-3, 0-5, 1-4, 2-3.
+	p := QFT(6)
+	want := []Op{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {0, 4}, {1, 3}, {0, 5}, {1, 4}, {2, 3}}
+	for i, w := range want {
+		if p.Ops[i] != w {
+			t.Fatalf("QFT(6) ops[%d] = %v, want %v (full: %v)", i, p.Ops[i], w, p.Ops[:len(want)])
+		}
+	}
+}
+
+func TestQFTAllToAll(t *testing.T) {
+	n := 10
+	p := QFT(n)
+	seen := map[Op]bool{}
+	for _, op := range p.Ops {
+		if op.A >= op.B {
+			t.Errorf("op %v not in canonical (low,high) order", op)
+		}
+		if seen[op] {
+			t.Errorf("duplicate op %v", op)
+		}
+		seen[op] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !seen[(Op{i, j})] {
+				t.Errorf("missing pair %d-%d", i, j)
+			}
+		}
+	}
+}
+
+func TestQFTDegenerate(t *testing.T) {
+	if ops := QFT(1).Ops; len(ops) != 0 {
+		t.Errorf("QFT(1) should have no ops, got %v", ops)
+	}
+	if ops := QFT(0).Ops; len(ops) != 0 {
+		t.Errorf("QFT(0) should have no ops, got %v", ops)
+	}
+}
+
+func TestModMultBipartite(t *testing.T) {
+	n := 8
+	p := ModMult(n)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := n * n; len(p.Ops) != want {
+		t.Fatalf("MM(%d) has %d ops, want %d", n, len(p.Ops), want)
+	}
+	seen := map[Op]bool{}
+	for _, op := range p.Ops {
+		if op.A >= n || op.B < n {
+			t.Errorf("op %v crosses sets the wrong way", op)
+		}
+		if seen[op] {
+			t.Errorf("duplicate op %v", op)
+		}
+		seen[op] = true
+	}
+}
+
+func TestModMultRoundsAreParallel(t *testing.T) {
+	n := 4
+	p := ModMult(n)
+	// Each round of n ops touches every qubit exactly once.
+	for r := 0; r < n; r++ {
+		used := map[int]bool{}
+		for _, op := range p.Ops[r*n : (r+1)*n] {
+			if used[op.A] || used[op.B] {
+				t.Errorf("round %d reuses a qubit: %v", r, p.Ops[r*n:(r+1)*n])
+			}
+			used[op.A], used[op.B] = true, true
+		}
+	}
+}
+
+func TestModExpComposition(t *testing.T) {
+	n, steps := 6, 3
+	p := ModExp(n, steps)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	perStep := n*(n-1)/2 + n*n
+	if want := steps * perStep; len(p.Ops) != want {
+		t.Errorf("ME(%d,%d) has %d ops, want %d", n, steps, len(p.Ops), want)
+	}
+	if p.Qubits != 2*n {
+		t.Errorf("ME qubits = %d, want %d", p.Qubits, 2*n)
+	}
+}
+
+func TestModExpDegenerate(t *testing.T) {
+	if len(ModExp(0, 1).Ops) != 0 || len(ModExp(4, 0).Ops) != 0 {
+		t.Error("degenerate ME should be empty")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	p := Program{Name: "bad", Qubits: 2, Ops: []Op{{0, 0}}}
+	if err := p.Validate(); err == nil {
+		t.Error("self-op should fail validation")
+	}
+	p = Program{Name: "bad", Qubits: 2, Ops: []Op{{0, 5}}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range op should fail validation")
+	}
+	p = Program{Name: "bad", Qubits: 0}
+	if err := p.Validate(); err == nil {
+		t.Error("zero-qubit program should fail validation")
+	}
+}
+
+// Property: QFT ops are sorted by label sum (the paper's wavefront
+// order), and within a sum by the lower label.
+func TestQFTOrderProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		p := QFT(n)
+		for i := 1; i < len(p.Ops); i++ {
+			prev, cur := p.Ops[i-1], p.Ops[i]
+			ps, cs := prev.A+prev.B, cur.A+cur.B
+			if cs < ps {
+				return false
+			}
+			if cs == ps && cur.A < prev.A {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

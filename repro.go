@@ -1,0 +1,180 @@
+// Package repro is a Go reproduction of "Interconnection Networks for
+// Scalable Quantum Computers" (Isailovic, Patel, Whitney, Kubiatowicz —
+// ISCA 2006, arXiv:quant-ph/0604048).
+//
+// The paper shows that communication in a quantum computer reduces to
+// constructing reliable quantum channels by distributing high-fidelity
+// EPR pairs, develops analytical models of such channels (latency,
+// bandwidth, error rate, resource usage), and simulates a mesh-grid
+// interconnect of teleporter nodes running the Quantum Fourier
+// Transform.
+//
+// This package is a facade over the implementation packages, re-exported
+// so that the library presents one coherent public API:
+//
+//   - Device parameters (Tables 1-2):       Params, IonTrap2006
+//   - Channel fidelity models (Eqs 1-6):    Ballistic, Teleport, Generate
+//   - Bell-diagonal states:                 Bell, Werner
+//   - Purification (Fig 8, Fig 14):         DEJMPS, BBPSSW, QueuePurifier
+//   - EPR distribution policies (Figs 9-12): DistributionConfig, Scheme
+//   - Error-correction sizing:              Steane
+//   - The network simulator (Fig 16):       SimConfig, RunSimulation
+//   - Workloads (Shor kernels):             QFT, ModMult, ModExp
+//
+// The deeper APIs (discrete-event engine, router model, classical
+// network, report emitters) live in the internal packages and are
+// exercised through the commands in cmd/ and the examples in examples/.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/epr"
+	"repro/internal/fidelity"
+	"repro/internal/mesh"
+	"repro/internal/netsim"
+	"repro/internal/phys"
+	"repro/internal/purify"
+	"repro/internal/workload"
+)
+
+// Params bundles the ion-trap device constants of the paper's Tables 1
+// and 2.
+type Params = phys.Params
+
+// IonTrap2006 returns the paper's baseline device parameters.
+func IonTrap2006() Params { return phys.IonTrap2006() }
+
+// ThresholdError is the fault-tolerance threshold 7.5e-5 the paper
+// imposes on data-qubit error.
+const ThresholdError = fidelity.ThresholdError
+
+// Bell is a Bell-diagonal two-qubit state; its A coefficient is the
+// pair's fidelity.
+type Bell = fidelity.Bell
+
+// Werner lifts a scalar fidelity into the Bell-diagonal representation.
+func Werner(f float64) Bell { return fidelity.Werner(f) }
+
+// Ballistic applies the paper's Eq 1: fidelity after moving a qubit over
+// the given number of ion-trap cells.
+func Ballistic(p Params, old float64, cells int) float64 {
+	return fidelity.Ballistic(p, old, cells)
+}
+
+// Teleport applies the paper's Eq 3: fidelity after one teleportation
+// using an EPR pair of the given fidelity.
+func Teleport(p Params, old, epr float64) float64 { return fidelity.Teleport(p, old, epr) }
+
+// Generate applies the paper's Eq 4: fidelity of a freshly generated EPR
+// pair.
+func Generate(p Params, fzero float64) float64 { return fidelity.Generate(p, fzero) }
+
+// Protocol is a two-to-one entanglement purification protocol.
+type Protocol = purify.Protocol
+
+// DEJMPS is the Deutsch et al. purification protocol (the paper's
+// choice).
+type DEJMPS = purify.DEJMPS
+
+// BBPSSW is the Bennett et al. purification protocol.
+type BBPSSW = purify.BBPSSW
+
+// QueuePurifier is the robust queue-based purifier of Figure 14.
+type QueuePurifier = purify.QueuePurifier
+
+// NewQueuePurifier builds a queue purifier of the given tree depth.
+func NewQueuePurifier(proto Protocol, depth int) (*QueuePurifier, error) {
+	return purify.NewQueuePurifier(proto, depth)
+}
+
+// Scheme selects where purification happens during EPR distribution
+// (the five policies of Figures 10-12).
+type Scheme = epr.Scheme
+
+// The five purification placement policies.
+const (
+	EndpointsOnly = epr.EndpointsOnly
+	OnceBefore    = epr.OnceBefore
+	TwiceBefore   = epr.TwiceBefore
+	OnceAfter     = epr.OnceAfter
+	TwiceAfter    = epr.TwiceAfter
+)
+
+// DistributionConfig models EPR-pair distribution over a chain of
+// teleporter hops.
+type DistributionConfig = epr.Config
+
+// DefaultDistributionConfig returns the paper's channel-setup model:
+// 600-cell hops, DEJMPS purification, 7.5e-5 target.
+func DefaultDistributionConfig(p Params) DistributionConfig { return epr.DefaultConfig(p) }
+
+// Code is a concatenated quantum error-correcting code.
+type Code = ecc.Code
+
+// Steane returns the concatenated Steane [[7,1,3]] code at the given
+// level; level 2 (49 physical qubits) is the paper's choice.
+func Steane(level int) (Code, error) { return ecc.Steane(level) }
+
+// Grid is a rectangular tile mesh.
+type Grid = mesh.Grid
+
+// NewGrid builds a mesh of the given dimensions.
+func NewGrid(w, h int) (Grid, error) { return mesh.NewGrid(w, h) }
+
+// Layout selects the logical-qubit floorplan (Figure 15).
+type Layout = netsim.Layout
+
+// The two floorplans of the paper's Section 5.
+const (
+	HomeBase    = netsim.HomeBase
+	MobileQubit = netsim.MobileQubit
+)
+
+// SimConfig parameterizes the event-driven network simulator.
+type SimConfig = netsim.Config
+
+// SimResult summarizes a simulation run.
+type SimResult = netsim.Result
+
+// DefaultSimConfig returns the paper's simulator parameters on the given
+// grid with per-node resource counts t (teleporters), g (generators) and
+// p (queue purifiers).
+func DefaultSimConfig(grid Grid, layout Layout, t, g, p int) SimConfig {
+	return netsim.DefaultConfig(grid, layout, t, g, p)
+}
+
+// RunSimulation executes a logical instruction stream on the simulated
+// machine.
+func RunSimulation(cfg SimConfig, prog Program) (SimResult, error) {
+	return netsim.Run(cfg, prog)
+}
+
+// ChannelSpec describes a reliable quantum channel to be planned.
+type ChannelSpec = core.Spec
+
+// Channel is a planned reliable quantum channel: the paper's latency,
+// bandwidth, error-rate and resource metrics.
+type Channel = core.Channel
+
+// PlanChannel builds the analytical channel model of the paper's
+// Section 4 for one path.
+func PlanChannel(spec ChannelSpec) (Channel, error) { return core.Plan(spec) }
+
+// Program is a logical instruction stream of two-qubit operations.
+type Program = workload.Program
+
+// Op is one two-logical-qubit operation.
+type Op = workload.Op
+
+// QFT returns the Quantum Fourier Transform communication pattern
+// (all-to-all) on n logical qubits.
+func QFT(n int) Program { return workload.QFT(n) }
+
+// ModMult returns the Modular Multiplication pattern (bipartite) between
+// two sets of n logical qubits.
+func ModMult(n int) Program { return workload.ModMult(n) }
+
+// ModExp returns the Modular Exponentiation pattern (alternating
+// all-to-all and bipartite) over two sets of n qubits.
+func ModExp(n, steps int) Program { return workload.ModExp(n, steps) }

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+)
+
+// The facade tests exercise the public API end to end, the way a
+// downstream user would.
+
+func TestFacadeChannelModel(t *testing.T) {
+	p := repro.IonTrap2006()
+	if f := repro.Ballistic(p, 1, 100); f >= 1 || f < 0.9999 {
+		t.Errorf("ballistic fidelity over 100 cells = %g", f)
+	}
+	if f := repro.Teleport(p, 1, 1); 1-f > 1e-6 {
+		t.Errorf("near-perfect teleport error = %g", 1-f)
+	}
+	if f := repro.Generate(p, 1); f <= 0.999 {
+		t.Errorf("generated pair fidelity = %g", f)
+	}
+}
+
+func TestFacadeDistribution(t *testing.T) {
+	cfg := repro.DefaultDistributionConfig(repro.IonTrap2006())
+	cost := cfg.Evaluate(repro.EndpointsOnly, 30)
+	if !cost.Feasible {
+		t.Fatal("baseline 30-hop channel should be feasible")
+	}
+	if cost.FinalError > repro.ThresholdError {
+		t.Errorf("delivered error %g exceeds threshold", cost.FinalError)
+	}
+	if cost.EndpointRounds != 3 {
+		t.Errorf("endpoint rounds = %d, want 3 (paper §5.3)", cost.EndpointRounds)
+	}
+}
+
+func TestFacadePurification(t *testing.T) {
+	q, err := repro.NewQueuePurifier(repro.DEJMPS{Params: repro.IonTrap2006()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := 0
+	for i := 0; i < 32; i++ {
+		if res := q.Offer(repro.Werner(0.99)); res.Emitted {
+			emitted++
+		}
+	}
+	if emitted != 4 {
+		t.Errorf("emitted %d outputs from 32 pairs, want 4", emitted)
+	}
+}
+
+func TestFacadeCode(t *testing.T) {
+	code, err := repro.Steane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.RawPairsPerLogicalTeleport(3) != 392 {
+		t.Errorf("pairs per logical teleport = %d, want 392", code.RawPairsPerLogicalTeleport(3))
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	grid, err := repro.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []repro.Layout{repro.HomeBase, repro.MobileQubit} {
+		cfg := repro.DefaultSimConfig(grid, layout, 16, 16, 8)
+		res, err := repro.RunSimulation(cfg, repro.QFT(16))
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if res.Ops != 120 {
+			t.Errorf("%v: ops = %d, want 120", layout, res.Ops)
+		}
+		if res.Exec <= 0 {
+			t.Errorf("%v: non-positive exec time", layout)
+		}
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if got := len(repro.QFT(16).Ops); got != 120 {
+		t.Errorf("QFT(16) ops = %d, want 120", got)
+	}
+	if got := len(repro.ModMult(8).Ops); got != 64 {
+		t.Errorf("ModMult(8) ops = %d, want 64", got)
+	}
+	if got := len(repro.ModExp(4, 2).Ops); got != 2*(6+16) {
+		t.Errorf("ModExp(4,2) ops = %d, want 44", got)
+	}
+	for _, prog := range []repro.Program{repro.QFT(8), repro.ModMult(4), repro.ModExp(4, 1)} {
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: %v", prog.Name, err)
+		}
+	}
+}

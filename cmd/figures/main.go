@@ -19,10 +19,11 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/epr"
 	"repro/internal/figures"
-	"repro/internal/phys"
 	"repro/internal/report"
+
+	"repro/qnet"
+	"repro/qnet/channel"
 )
 
 func main() {
@@ -63,7 +64,7 @@ func run(w io.Writer, fig, format string, grid, area, hops int, noPlots bool) er
 		return nil
 	}
 
-	base := phys.IonTrap2006()
+	base := qnet.IonTrap2006()
 	wanted := strings.Split(fig, ",")
 	has := func(name string) bool {
 		for _, f := range wanted {
@@ -109,14 +110,14 @@ func run(w io.Writer, fig, format string, grid, area, hops int, noPlots bool) er
 	}
 	if has("10") {
 		matched = true
-		t, p := figures.Fig10(epr.DefaultConfig(base), false)
+		t, p := figures.Fig10(channel.DefaultDistribution(base), false)
 		if err := emit(t, p); err != nil {
 			return err
 		}
 	}
 	if has("11") {
 		matched = true
-		t, p := figures.Fig10(epr.DefaultConfig(base), true)
+		t, p := figures.Fig10(channel.DefaultDistribution(base), true)
 		if err := emit(t, p); err != nil {
 			return err
 		}

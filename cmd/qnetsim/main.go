@@ -7,8 +7,9 @@
 //	qnetsim -workload qft -grid 8 -layout mobile -t 16 -g 16 -p 8
 //	qnetsim -workload mm -grid 16 -layout home -t 24 -g 24 -p 6
 //	qnetsim -program kernel.q -grid 8 -heatmap      # custom program file
+//	qnetsim -grid 12 -timeout 30s                   # bounded run
 //
-// Program files use the instruction-stream format of internal/isa:
+// Program files use the instruction-stream format of qnet.ParseProgram:
 //
 //	qubits 16
 //	op 0 1
@@ -16,20 +17,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"repro/internal/isa"
-	"repro/internal/mesh"
-	"repro/internal/netsim"
-	"repro/internal/workload"
+	"repro/qnet"
+	"repro/qnet/simulate"
 )
 
 func main() {
 	var (
 		wl      = flag.String("workload", "qft", "workload: qft, mm or me (ignored with -program)")
-		program = flag.String("program", "", "path to an instruction-stream file (see internal/isa)")
+		program = flag.String("program", "", "path to an instruction-stream file (see qnet.ParseProgram)")
 		gridN   = flag.Int("grid", 8, "mesh edge length")
 		layout  = flag.String("layout", "home", "layout: home or mobile")
 		t       = flag.Int("t", 16, "teleporters per T' node")
@@ -40,6 +41,7 @@ func main() {
 		hopCell = flag.Int("hopcells", 600, "cells per mesh hop")
 		failure = flag.Float64("failure", 0, "injected purification failure probability per batch")
 		seed    = flag.Int64("seed", 0, "failure-injection RNG seed")
+		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
 		heatmap = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
 	)
 	flag.Parse()
@@ -47,7 +49,7 @@ func main() {
 	if err := run(opts{
 		workload: *wl, program: *program, gridN: *gridN, layout: *layout,
 		t: *t, g: *g, p: *p, depth: *depth, level: *level, hopCells: *hopCell,
-		failure: *failure, seed: *seed, heatmap: *heatmap,
+		failure: *failure, seed: *seed, timeout: *timeout, heatmap: *heatmap,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qnetsim:", err)
 		os.Exit(1)
@@ -60,57 +62,70 @@ type opts struct {
 	hopCells                     int
 	failure                      float64
 	seed                         int64
+	timeout                      time.Duration
 	heatmap                      bool
 }
 
 func run(o opts) error {
-	grid, err := mesh.NewGrid(o.gridN, o.gridN)
+	grid, err := qnet.NewGrid(o.gridN, o.gridN)
 	if err != nil {
 		return err
 	}
 
-	var layout netsim.Layout
+	var layout simulate.Layout
 	switch o.layout {
 	case "home":
-		layout = netsim.HomeBase
+		layout = simulate.HomeBase
 	case "mobile":
-		layout = netsim.MobileQubit
+		layout = simulate.MobileQubit
 	default:
 		return fmt.Errorf("unknown layout %q (want home or mobile)", o.layout)
 	}
 
-	var prog workload.Program
+	var prog qnet.Program
 	if o.program != "" {
 		f, err := os.Open(o.program)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		prog, err = isa.Parse(f)
+		prog, err = qnet.ParseProgram(f)
 		if err != nil {
 			return err
 		}
 	} else {
 		switch o.workload {
 		case "qft":
-			prog = workload.QFT(grid.Tiles())
+			prog = qnet.QFT(grid.Tiles())
 		case "mm":
-			prog = workload.ModMult(grid.Tiles() / 2)
+			prog = qnet.ModMult(grid.Tiles() / 2)
 		case "me":
-			prog = workload.ModExp(grid.Tiles()/4, 1)
+			prog = qnet.ModExp(grid.Tiles()/4, 1)
 		default:
 			return fmt.Errorf("unknown workload %q (want qft, mm or me)", o.workload)
 		}
 	}
 
-	cfg := netsim.DefaultConfig(grid, layout, o.t, o.g, o.p)
-	cfg.PurifyDepth = o.depth
-	cfg.CodeLevel = o.level
-	cfg.HopCells = o.hopCells
-	cfg.PurifyFailureRate = o.failure
-	cfg.Seed = o.seed
+	m, err := simulate.New(grid, layout,
+		simulate.WithResources(o.t, o.g, o.p),
+		simulate.WithPurifyDepth(o.depth),
+		simulate.WithCodeLevel(o.level),
+		simulate.WithHopCells(o.hopCells),
+		simulate.WithFailureRate(o.failure),
+		simulate.WithSeed(o.seed),
+	)
+	if err != nil {
+		return err
+	}
 
-	res, detail, err := netsim.RunDetailed(cfg, prog)
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
+	res, detail, err := m.RunDetailed(ctx, prog)
 	if err != nil {
 		return err
 	}

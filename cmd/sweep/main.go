@@ -4,32 +4,36 @@
 // crossover, and sweeps the queue-purifier depth — the ablations of the
 // design decisions called out in DESIGN.md.
 //
+// The depth sweep runs every configuration concurrently through the
+// qnet/simulate sweep engine.
+//
 // Usage:
 //
 //	sweep -mode errors              # error-rate scaling ablation
 //	sweep -mode hops                # hop-length ablation
 //	sweep -mode depth -grid 6       # purifier-depth ablation (simulator)
+//	sweep -mode depth -workers 8    # explicit worker count
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/ballistic"
-	"repro/internal/epr"
-	"repro/internal/mesh"
-	"repro/internal/netsim"
-	"repro/internal/phys"
 	"repro/internal/report"
-	"repro/internal/workload"
+
+	"repro/qnet"
+	"repro/qnet/channel"
+	"repro/qnet/simulate"
 )
 
 func main() {
 	var (
-		mode  = flag.String("mode", "errors", "sweep mode: errors, hops, depth or methodology")
-		dist  = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
-		gridN = flag.Int("grid", 6, "mesh edge length for the depth sweep")
+		mode    = flag.String("mode", "errors", "sweep mode: errors, hops, depth or methodology")
+		dist    = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
+		gridN   = flag.Int("grid", 6, "mesh edge length for the depth sweep")
+		workers = flag.Int("workers", 0, "worker goroutines for the depth sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,7 +44,7 @@ func main() {
 	case "hops":
 		err = sweepHops(*dist)
 	case "depth":
-		err = sweepDepth(*gridN)
+		err = sweepDepth(*gridN, *workers)
 	case "methodology":
 		err = sweepMethodology()
 	default:
@@ -59,9 +63,9 @@ func sweepErrors(dist int) error {
 		fmt.Sprintf("Error-rate scaling ablation (endpoints-only, %d hops)", dist),
 		"Scale", "pmv", "ArrivalError", "EndpointRounds", "TeleportedPairs", "Feasible")
 	for _, scale := range []float64{0.01, 0.1, 1, 10, 100, 1000} {
-		p := phys.IonTrap2006().Scale(scale)
-		cfg := epr.DefaultConfig(p)
-		c := cfg.Evaluate(epr.EndpointsOnly, dist)
+		p := qnet.IonTrap2006().Scale(scale)
+		cfg := channel.DefaultDistribution(p)
+		c := cfg.Evaluate(channel.EndpointsOnly, dist)
 		t.AddRow(scale, p.Errors.MoveCell, c.ArrivalError, c.EndpointRounds, c.TeleportedPairs, c.Feasible)
 	}
 	return t.WriteText(os.Stdout)
@@ -70,14 +74,14 @@ func sweepErrors(dist int) error {
 // sweepHops varies the teleporter spacing around the latency crossover
 // and reports both latency and fidelity consequences.
 func sweepHops(dist int) error {
-	p := phys.IonTrap2006()
+	p := qnet.IonTrap2006()
 	t := report.NewTable(
 		fmt.Sprintf("Hop-length ablation (%d hops of each length)", dist),
 		"HopCells", "BallisticPerHop", "TeleportPerHop", "LinkPairError", "TeleportedPairs")
 	for _, cells := range []int{100, 200, 400, 600, 800, 1200, 2400} {
-		cfg := epr.DefaultConfig(p)
+		cfg := channel.DefaultDistribution(p)
 		cfg.HopCells = cells
-		c := cfg.Evaluate(epr.EndpointsOnly, dist)
+		c := cfg.Evaluate(channel.EndpointsOnly, dist)
 		t.AddRow(cells,
 			p.BallisticTime(cells).String(),
 			p.TeleportTime(cells).String(),
@@ -87,24 +91,42 @@ func sweepHops(dist int) error {
 	return t.WriteText(os.Stdout)
 }
 
-// sweepDepth varies the queue-purifier depth in the full simulator.
-func sweepDepth(gridN int) error {
-	grid, err := mesh.NewGrid(gridN, gridN)
+// depthSweepSpace is the cmd/sweep default grid: the queue-purifier
+// depth ablation the benchmark in qnet/simulate measures.
+func depthSweepSpace(gridN int) (simulate.Space, error) {
+	grid, err := qnet.NewGrid(gridN, gridN)
+	if err != nil {
+		return simulate.Space{}, err
+	}
+	return simulate.Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []simulate.Layout{simulate.HomeBase},
+		Resources: []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Depths:    []int{1, 2, 3, 4, 5},
+	}, nil
+}
+
+// sweepDepth varies the queue-purifier depth in the full simulator,
+// running all depths concurrently.
+func sweepDepth(gridN, workers int) error {
+	space, err := depthSweepSpace(gridN)
 	if err != nil {
 		return err
 	}
-	prog := workload.QFT(grid.Tiles())
+	points, err := simulate.Sweep(context.Background(), space,
+		simulate.WithWorkers(workers))
+	if err != nil {
+		return err
+	}
 	t := report.NewTable(
-		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8)", grid.Tiles()),
+		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8)", gridN*gridN),
 		"Depth", "PairsPerOutput", "PairsDelivered", "Exec")
-	for depth := 1; depth <= 5; depth++ {
-		cfg := netsim.DefaultConfig(grid, netsim.HomeBase, 16, 16, 8)
-		cfg.PurifyDepth = depth
-		res, err := netsim.Run(cfg, prog)
-		if err != nil {
-			return err
+	for _, pt := range points {
+		if pt.Err != nil {
+			return pt.Err
 		}
-		t.AddRow(depth, 1<<uint(depth), res.PairsDelivered, res.Exec.String())
+		t.AddRow(pt.Point.Depth, 1<<uint(pt.Point.Depth), pt.Result.PairsDelivered, pt.Result.Exec.String())
 	}
 	return t.WriteText(os.Stdout)
 }
@@ -113,17 +135,17 @@ func sweepDepth(gridN int) error {
 // Figures 4 and 5 over a range of physical distances (the paper's §4.6
 // fidelity/latency comparison plus the control-complexity metric).
 func sweepMethodology() error {
-	p := phys.IonTrap2006()
+	p := qnet.IonTrap2006()
 	t := report.NewTable(
 		"Distribution methodology comparison (ballistic vs chained teleportation)",
 		"Cells", "BallisticLatency", "TeleportLatency",
 		"BallisticPairErr", "ChainedPairErr", "BallisticCtrlSignals")
 	for _, cells := range []int{600, 1800, 6000, 18000, 36000} {
-		c, err := ballistic.Compare(p, cells, 600)
+		c, err := channel.CompareMethodologies(p, cells, 600)
 		if err != nil {
 			return err
 		}
-		d := ballistic.Distribution{Params: p, DistanceCells: cells}
+		d := channel.BallisticDistribution{Params: p, DistanceCells: cells}
 		res, err := d.Evaluate()
 		if err != nil {
 			return err

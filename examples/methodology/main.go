@@ -21,17 +21,17 @@ package main
 import (
 	"fmt"
 	"os"
+	"text/tabwriter"
 
-	"repro/internal/ballistic"
-	"repro/internal/phys"
-	"repro/internal/report"
+	"repro/qnet"
+	"repro/qnet/channel"
 )
 
 func main() {
-	p := phys.IonTrap2006()
+	p := qnet.IonTrap2006()
 
 	// The electrode-level view (Figure 2): what it takes to move one ion.
-	plan, err := ballistic.PlanMove(3, 9)
+	plan, err := channel.PlanMove(3, 9)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -52,18 +52,18 @@ func main() {
 
 	// The methodology comparison across distances.
 	fmt.Println("\nDistribution methodology comparison (hop length 600 cells):")
-	t := report.NewTable("", "Distance (cells)", "Ballistic latency", "Teleport latency",
-		"Ballistic pair err", "Chained pair err")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Distance (cells)\tBallistic latency\tTeleport latency\tBallistic pair err\tChained pair err")
 	for _, cells := range []int{150, 600, 2400, 9600, 38400} {
-		c, err := ballistic.Compare(p, cells, 600)
+		c, err := channel.CompareMethodologies(p, cells, 600)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		t.AddRow(cells, c.BallisticLatency.String(), c.TeleportLatency.String(),
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.3e\t%.3e\n", cells, c.BallisticLatency, c.TeleportLatency,
 			c.BallisticPairError, c.ChainedPairError)
 	}
-	if err := t.WriteText(os.Stdout); err != nil {
+	if err := w.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -75,7 +75,7 @@ func main() {
 
 	// End-to-end ballistic distribution with endpoint purification.
 	fmt.Println("\nBallistic distribution across a 16x16-grid diameter (18000 cells):")
-	res, err := (ballistic.Distribution{Params: p, DistanceCells: 18000}).Evaluate()
+	res, err := (channel.BallisticDistribution{Params: p, DistanceCells: 18000}).Evaluate()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

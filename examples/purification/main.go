@@ -11,36 +11,34 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/epr"
-	"repro/internal/fidelity"
-	"repro/internal/phys"
-	"repro/internal/purify"
+	"repro/qnet"
+	"repro/qnet/channel"
 )
 
 func main() {
-	p := phys.IonTrap2006()
+	p := qnet.IonTrap2006()
 
 	fmt.Println("== Protocol race: error after each purification round (F0 = 0.99) ==")
 	fmt.Println("round   DEJMPS        BBPSSW")
-	initial := fidelity.Werner(0.99)
-	dejmps := purify.Rounds(purify.DEJMPS{Params: p}, initial, 8)
-	bbpssw := purify.Rounds(purify.BBPSSW{Params: p}, initial, 8)
+	initial := qnet.Werner(0.99)
+	dejmps := qnet.Rounds(qnet.DEJMPS{Params: p}, initial, 8)
+	bbpssw := qnet.Rounds(qnet.BBPSSW{Params: p}, initial, 8)
 	for i := 0; i < 8; i++ {
 		fmt.Printf("%5d   %.3e     %.3e\n", i+1, dejmps[i].State.Error(), bbpssw[i].State.Error())
 	}
-	dr := purify.ConvergenceRounds(purify.DEJMPS{Params: p}, initial, 1e-7, 100)
-	br := purify.ConvergenceRounds(purify.BBPSSW{Params: p}, initial, 1e-7, 100)
+	dr := qnet.ConvergenceRounds(qnet.DEJMPS{Params: p}, initial, 1e-7, 100)
+	br := qnet.ConvergenceRounds(qnet.BBPSSW{Params: p}, initial, 1e-7, 100)
 	fmt.Printf("\nconvergence: DEJMPS %d rounds, BBPSSW %d rounds (paper: BBPSSW needs 5-10x more)\n",
 		dr, br)
 	fmt.Printf("resource cost is exponential in rounds: %d rounds -> %d pairs, %d rounds -> %d pairs\n\n",
-		dr, purify.TreePairs(dr), br, purify.TreePairs(br))
+		dr, qnet.TreePairs(dr), br, qnet.TreePairs(br))
 
 	fmt.Println("== Queue purifier (Figure 14): depth 3, one output per 8 pairs ==")
-	q, err := purify.NewQueuePurifier(purify.DEJMPS{Params: p}, 3)
+	q, err := qnet.NewQueuePurifier(qnet.DEJMPS{Params: p}, 3)
 	if err != nil {
 		panic(err)
 	}
-	in := fidelity.Werner(0.995)
+	in := qnet.Werner(0.995)
 	for i := 1; i <= 16; i++ {
 		res := q.Offer(in)
 		if res.Emitted {
@@ -51,9 +49,9 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("== Placement policies across a 20-hop channel (Figures 10/11) ==")
-	cfg := epr.DefaultConfig(p)
+	cfg := channel.DefaultDistribution(p)
 	fmt.Printf("%-28s %12s %14s %10s\n", "scheme", "teleported", "total pairs", "endpoint rounds")
-	for _, s := range epr.Schemes {
+	for _, s := range channel.Schemes {
 		c := cfg.Evaluate(s, 20)
 		fmt.Printf("%-28s %12.3g %14.3g %10d\n", s, c.TeleportedPairs, c.TotalPairs, c.EndpointRounds)
 	}

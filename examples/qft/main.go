@@ -10,27 +10,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/mesh"
-	"repro/internal/netsim"
-	"repro/internal/workload"
+	"repro/qnet"
+	"repro/qnet/simulate"
 )
 
 func main() {
-	grid, err := mesh.NewGrid(8, 8)
+	grid, err := qnet.NewGrid(8, 8)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	prog := workload.QFT(grid.Tiles())
+	prog := qnet.QFT(grid.Tiles())
 	fmt.Printf("QFT over %d logical qubits: %d two-qubit operations\n\n",
 		prog.Qubits, len(prog.Ops))
 
-	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
-		cfg := netsim.DefaultConfig(grid, layout, 16, 16, 16)
-		res, err := netsim.Run(cfg, prog)
+	ctx := context.Background()
+	for _, layout := range []simulate.Layout{simulate.HomeBase, simulate.MobileQubit} {
+		m, err := simulate.New(grid, layout, simulate.WithResources(16, 16, 16))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := m.Run(ctx, prog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

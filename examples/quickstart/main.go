@@ -12,14 +12,12 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/ecc"
-	"repro/internal/epr"
-	"repro/internal/fidelity"
-	"repro/internal/phys"
+	"repro/qnet"
+	"repro/qnet/channel"
 )
 
 func main() {
-	p := phys.IonTrap2006()
+	p := qnet.IonTrap2006()
 	fmt.Println("== Ion-trap device parameters (paper Tables 1 and 2) ==")
 	fmt.Println(p)
 
@@ -28,14 +26,14 @@ func main() {
 	fmt.Println("\n== Step 1: ballistic movement does not scale ==")
 	for _, n := range []int{10, 100, 1000} {
 		fmt.Printf("corner-to-corner on a %4dx%-4d grid: error %.2e (threshold %.2e)\n",
-			n, n, fidelity.CornerToCornerError(p, n), fidelity.ThresholdError)
+			n, n, qnet.CornerToCornerError(p, n), qnet.ThresholdError)
 	}
 
 	// Step 2: teleportation needs an EPR pair at both endpoints; its
 	// output fidelity depends on the pair's fidelity (Eq 3).
 	fmt.Println("\n== Step 2: teleportation quality tracks EPR pair quality ==")
 	for _, eprErr := range []float64{1e-7, 1e-5, 1e-3} {
-		out := fidelity.Teleport(p, 1, 1-eprErr)
+		out := qnet.Teleport(p, 1, 1-eprErr)
 		fmt.Printf("teleport with EPR error %.0e: data error %.2e\n", eprErr, 1-out)
 	}
 
@@ -48,13 +46,13 @@ func main() {
 	// Step 4: set up a channel across 30 hops (the 16x16 grid diameter)
 	// and see what it costs under the paper's chosen policy.
 	fmt.Println("\n== Step 4: channel setup cost across 30 hops ==")
-	cfg := epr.DefaultConfig(p)
-	cost := cfg.Evaluate(epr.EndpointsOnly, 30)
+	cfg := channel.DefaultDistribution(p)
+	cost := cfg.Evaluate(channel.EndpointsOnly, 30)
 	fmt.Printf("arrival error after 30 chained teleports: %.2e\n", cost.ArrivalError)
 	fmt.Printf("endpoint purification rounds needed:      %d (tree of %d pairs)\n",
 		cost.EndpointRounds, 1<<uint(cost.EndpointRounds))
 	fmt.Printf("delivered pair error:                     %.2e (threshold %.2e)\n",
-		cost.FinalError, fidelity.ThresholdError)
+		cost.FinalError, qnet.ThresholdError)
 	fmt.Printf("pairs teleported per delivered pair:      %.1f\n", cost.TeleportedPairs)
 	fmt.Printf("total pairs consumed per delivered pair:  %.1f\n", cost.TotalPairs)
 
@@ -62,7 +60,7 @@ func main() {
 	// one logical communication needs hundreds of pairs — the paper's
 	// headline number.
 	fmt.Println("\n== Step 5: scaling to a logical qubit ==")
-	code, err := ecc.Steane(2)
+	code, err := qnet.Steane(2)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,123 @@
+// Concurrent parameter sweep: machines, sessions and the sweep engine.
+//
+// This example is the tour of the qnet/simulate API surface:
+//
+//  1. build one Machine and run several programs through a Session
+//     (per-run reproducible RNG streams, recorded results);
+//  2. expand a layouts × workloads × seeds Space and fan it out across
+//     worker goroutines with Sweep, streaming progress;
+//  3. show cancellation: a context deadline aborts a run mid-flight
+//     inside the discrete-event loop;
+//  4. show structured errors: errors.Is/errors.As classify bad
+//     configurations and capacity overruns without string matching.
+//
+// Run with: go run ./examples/sweep [-grid 6] [-workers 0]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/simulate"
+)
+
+func main() {
+	gridN := flag.Int("grid", 6, "mesh edge length")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if err := run(*gridN, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(gridN, workers int) error {
+	ctx := context.Background()
+	grid, err := qnet.NewGrid(gridN, gridN)
+	if err != nil {
+		return err
+	}
+
+	// 1. One machine, many programs: a Session records every run.
+	fmt.Println("== Session: one machine, three Shor kernels ==")
+	m, err := simulate.New(grid, simulate.MobileQubit,
+		simulate.WithResources(16, 16, 8),
+		simulate.WithSeed(7))
+	if err != nil {
+		return err
+	}
+	sess := m.NewSession()
+	for _, prog := range []qnet.Program{
+		qnet.QFT(grid.Tiles()),
+		qnet.ModMult(grid.Tiles() / 2),
+		qnet.ModExp(grid.Tiles()/4, 1),
+	} {
+		res, err := sess.Run(ctx, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %4d ops  exec %v\n", prog.Name, res.Ops, res.Exec)
+	}
+	fmt.Printf("session total: %d runs, %v simulated\n\n", sess.Runs(), sess.TotalExec())
+
+	// 2. The sweep engine: layouts × workloads × seeds, in parallel.
+	fmt.Println("== Sweep: layouts × workloads × seeds, concurrent ==")
+	space := simulate.Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []simulate.Layout{simulate.HomeBase, simulate.MobileQubit},
+		Resources: []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles()), qnet.ModMult(grid.Tiles() / 2)},
+		Seeds:     []int64{1, 2},
+		Options:   []simulate.Option{simulate.WithFailureRate(0.02)},
+	}
+	start := time.Now()
+	points, err := simulate.Sweep(ctx, space,
+		simulate.WithWorkers(workers),
+		simulate.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r")
+			}
+		}))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d runs in %v wall time\n", len(points), time.Since(start).Round(time.Millisecond))
+	for _, pt := range points {
+		if pt.Err != nil {
+			return pt.Err
+		}
+		fmt.Printf("%-12v %-10s seed %d: exec %-14v failed batches %d\n",
+			pt.Point.Layout, pt.Point.Program.Name, pt.Point.Seed,
+			pt.Result.Exec, pt.Result.FailedBatches)
+	}
+
+	// 3. Cancellation: a cancelled context aborts the event loop.  A
+	// deadline (context.WithTimeout) propagates the same way.
+	fmt.Println("\n== Cancellation: cancelled context on a QFT run ==")
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := m.Run(cancelled, qnet.QFT(grid.Tiles())); err != nil {
+		fmt.Printf("run aborted as expected: %v\n", err)
+	}
+
+	// 4. Structured errors.
+	fmt.Println("\n== Structured errors ==")
+	_, err = simulate.New(grid, simulate.HomeBase, simulate.WithPurifyDepth(99))
+	var cfgErr *qnet.ConfigError
+	if errors.As(err, &cfgErr) {
+		fmt.Printf("ConfigError on field %s: %v\n", cfgErr.Field, err)
+	}
+	_, err = m.Run(ctx, qnet.QFT(grid.Tiles()+1))
+	var capErr *qnet.CapacityError
+	if errors.As(err, &capErr) {
+		fmt.Printf("CapacityError: need %d %s, have %d\n", capErr.Need, capErr.Resource, capErr.Have)
+	}
+	return nil
+}

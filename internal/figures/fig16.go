@@ -1,13 +1,15 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/mesh"
-	"repro/internal/netsim"
 	"repro/internal/report"
 	"repro/internal/workload"
+
+	"repro/qnet/simulate"
 )
 
 // Fig16Config parameterizes the Figure 16 reproduction: the benchmark
@@ -31,23 +33,30 @@ func DefaultFig16Config() Fig16Config {
 
 // Fig16Row is one measurement of the sweep.
 type Fig16Row struct {
-	Layout     netsim.Layout
-	Allocation netsim.Allocation
+	Layout     simulate.Layout
+	Allocation simulate.Allocation
 	Exec       time.Duration
 	Normalized float64
-	Result     netsim.Result
+	Result     simulate.Result
 }
 
 // Fig16Data holds the full sweep, including the normalization runs.
 type Fig16Data struct {
 	Config    Fig16Config
 	Qubits    int
-	Baselines map[netsim.Layout]netsim.Result
+	Baselines map[simulate.Layout]simulate.Result
 	Rows      []Fig16Row
 }
 
-// Fig16 runs the resource-allocation sweep of Figure 16.
+// Fig16 runs the resource-allocation sweep of Figure 16.  All
+// configurations (both layouts, the baselines and every allocation) run
+// concurrently through the simulate.Sweep engine.
 func Fig16(cfg Fig16Config) (*Fig16Data, error) {
+	return Fig16Context(context.Background(), cfg)
+}
+
+// Fig16Context is Fig16 with cancellation.
+func Fig16Context(ctx context.Context, cfg Fig16Config) (*Fig16Data, error) {
 	if cfg.GridSize < 2 {
 		return nil, fmt.Errorf("figures: grid size %d too small", cfg.GridSize)
 	}
@@ -56,27 +65,58 @@ func Fig16(cfg Fig16Config) (*Fig16Data, error) {
 		return nil, err
 	}
 	qubits := grid.Tiles()
-	prog := workload.QFT(qubits)
-	allocs, err := netsim.SweepAllocations(cfg.Area, cfg.Ratios)
+	allocs, err := simulate.Allocations(cfg.Area, cfg.Ratios)
 	if err != nil {
 		return nil, err
+	}
+
+	// Point 0 of the resource dimension is the unlimited-resource
+	// baseline; the rest are the swept allocations, in ratio order.
+	resources := make([]simulate.Resources, 0, len(allocs)+1)
+	resources = append(resources, simulate.Resources{Teleporters: 1024, Generators: 1024, Purifiers: 1024})
+	for _, a := range allocs {
+		resources = append(resources, simulate.AllocationResources(a))
+	}
+	space := simulate.Space{
+		Grids:     []mesh.Grid{grid},
+		Layouts:   []simulate.Layout{simulate.HomeBase, simulate.MobileQubit},
+		Resources: resources,
+		Programs:  []workload.Program{workload.QFT(qubits)},
+	}
+	points, err := simulate.Sweep(ctx, space)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decode by point metadata, not position, so the mapping survives
+	// any change to the space's dimensions or expansion order.
+	type runKey struct {
+		layout simulate.Layout
+		res    simulate.Resources
+	}
+	results := make(map[runKey]simulate.Result, len(points))
+	for _, pt := range points {
+		if pt.Err != nil {
+			return nil, fmt.Errorf("figures: %v %+v: %w", pt.Point.Layout, pt.Point.Resources, pt.Err)
+		}
+		results[runKey{pt.Point.Layout, pt.Point.Resources}] = pt.Result
 	}
 
 	data := &Fig16Data{
 		Config:    cfg,
 		Qubits:    qubits,
-		Baselines: make(map[netsim.Layout]netsim.Result, 2),
+		Baselines: make(map[simulate.Layout]simulate.Result, 2),
 	}
-	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
-		base, err := netsim.Run(netsim.DefaultConfig(grid, layout, 1024, 1024, 1024), prog)
-		if err != nil {
-			return nil, fmt.Errorf("figures: %v baseline: %w", layout, err)
+	for _, layout := range space.Layouts {
+		base, ok := results[runKey{layout, resources[0]}]
+		if !ok {
+			return nil, fmt.Errorf("figures: %v baseline missing from sweep results", layout)
 		}
 		data.Baselines[layout] = base
 		for _, a := range allocs {
-			res, err := netsim.Run(netsim.DefaultConfig(grid, layout, a.T, a.G, a.P), prog)
-			if err != nil {
-				return nil, fmt.Errorf("figures: %v %v: %w", layout, a, err)
+			res, ok := results[runKey{layout, simulate.AllocationResources(a)}]
+			if !ok {
+				return nil, fmt.Errorf("figures: %v %v missing from sweep results", layout, a)
 			}
 			data.Rows = append(data.Rows, Fig16Row{
 				Layout:     layout,
@@ -95,7 +135,7 @@ func (d *Fig16Data) Table() *report.Table {
 	t := report.NewTable(
 		fmt.Sprintf("Figure 16: QFT-%d execution vs resource allocation (normalized to t=g=p=1024)", d.Qubits),
 		"Layout", "Allocation", "Exec", "Normalized", "TeleporterUtil", "PurifierUtil")
-	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
+	for _, layout := range []simulate.Layout{simulate.HomeBase, simulate.MobileQubit} {
 		base := d.Baselines[layout]
 		t.AddRow(layout.String(), "t=g=p=1024 (baseline)", base.Exec.String(), 1.0,
 			base.TeleporterUtil, base.PurifierUtil)
@@ -116,7 +156,7 @@ func (d *Fig16Data) Plot() *report.Plot {
 		fmt.Sprintf("Figure 16: QFT-%d normalized execution vs t/p ratio", d.Qubits),
 		"t = g = ratio × p", "execution / unlimited-resource execution")
 	plot.LogY = true
-	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
+	for _, layout := range []simulate.Layout{simulate.HomeBase, simulate.MobileQubit} {
 		s := report.Series{Name: layout.String()}
 		for _, r := range d.Rows {
 			if r.Layout != layout {
@@ -131,26 +171,51 @@ func (d *Fig16Data) Plot() *report.Plot {
 }
 
 // MEMMData compares the three Shor's-algorithm kernels (the paper's
-// benchmark suite of §5.2) under one allocation.
+// benchmark suite of §5.2) under one allocation; the six runs (three
+// kernels × two layouts) execute concurrently.
 func MEMM(gridSize int, t, g, p int) (*report.Table, error) {
 	grid, err := mesh.NewGrid(gridSize, gridSize)
 	if err != nil {
 		return nil, err
 	}
 	half := grid.Tiles() / 2
-	progs := []workload.Program{
-		workload.QFT(grid.Tiles()),
-		workload.ModMult(half),
-		workload.ModExp(half/2, 1),
+	space := simulate.Space{
+		Grids:   []mesh.Grid{grid},
+		Layouts: []simulate.Layout{simulate.HomeBase, simulate.MobileQubit},
+		Resources: []simulate.Resources{
+			{Teleporters: t, Generators: g, Purifiers: p},
+		},
+		Programs: []workload.Program{
+			workload.QFT(grid.Tiles()),
+			workload.ModMult(half),
+			workload.ModExp(half/2, 1),
+		},
+	}
+	points, err := simulate.Sweep(context.Background(), space)
+	if err != nil {
+		return nil, err
+	}
+	// Decode by point metadata (kernel name × layout), not position.
+	type runKey struct {
+		kernel string
+		layout simulate.Layout
+	}
+	results := make(map[runKey]simulate.Result, len(points))
+	for _, pt := range points {
+		if pt.Err != nil {
+			return nil, pt.Err
+		}
+		results[runKey{pt.Point.Program.Name, pt.Point.Layout}] = pt.Result
 	}
 	tab := report.NewTable(
 		fmt.Sprintf("Shor kernels on a %dx%d mesh (t=%d g=%d p=%d)", gridSize, gridSize, t, g, p),
 		"Kernel", "Layout", "Ops", "Channels", "PairHops", "Exec", "MeanChannelLatency")
-	for _, prog := range progs {
-		for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
-			res, err := netsim.Run(netsim.DefaultConfig(grid, layout, t, g, p), prog)
-			if err != nil {
-				return nil, err
+	// The paper's table groups by kernel first.
+	for _, prog := range space.Programs {
+		for _, layout := range space.Layouts {
+			res, ok := results[runKey{prog.Name, layout}]
+			if !ok {
+				return nil, fmt.Errorf("figures: %s/%v missing from sweep results", prog.Name, layout)
 			}
 			tab.AddRow(prog.Name, layout.String(), res.Ops, res.Channels, res.PairHops,
 				res.Exec.String(), res.MeanChannelLatency.String())

@@ -143,7 +143,7 @@ func (ch *channelRun) arrive() {
 				s.engine.Schedule(latency, func() {
 					s.purify[hi].Release()
 					s.purify[lo].Release()
-					if s.rng != nil && s.rng.Float64() < s.cfg.PurifyFailureRate {
+					if s.cfg.PurifyFailureRate > 0 && s.rng.Float64() < s.cfg.PurifyFailureRate {
 						// The subtree is lost; send a replacement batch
 						// through the network (Figure 14's natural
 						// rebuild).

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,6 +28,12 @@ type Detail struct {
 
 // RunDetailed is Run plus per-component statistics.
 func RunDetailed(cfg Config, prog workload.Program) (Result, *Detail, error) {
+	return RunDetailedContext(context.Background(), cfg, prog)
+}
+
+// RunDetailedContext is RunDetailed with cancellation: the event loop
+// polls ctx and aborts with the context's error when it is cancelled.
+func RunDetailedContext(ctx context.Context, cfg Config, prog workload.Program) (Result, *Detail, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, nil, err
 	}
@@ -42,7 +49,9 @@ func RunDetailed(cfg Config, prog workload.Program) (Result, *Detail, error) {
 		return Result{}, nil, err
 	}
 	s.tryIssue()
-	s.engine.Run(0)
+	if _, err := s.engine.RunContext(ctx, 0); err != nil {
+		return Result{}, nil, fmt.Errorf("netsim: run aborted: %w", err)
+	}
 	if !s.sch.Done() {
 		return Result{}, nil, fmt.Errorf("netsim: simulation stalled with %d/%d ops done", s.sch.Completed(), s.sch.Len())
 	}

@@ -21,6 +21,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -221,6 +222,13 @@ func Run(cfg Config, prog workload.Program) (Result, error) {
 	return res, err
 }
 
+// RunContext is Run with cancellation: the event loop polls ctx and
+// aborts with the context's error when it is cancelled or times out.
+func RunContext(ctx context.Context, cfg Config, prog workload.Program) (Result, error) {
+	res, _, err := RunDetailedContext(ctx, cfg, prog)
+	return res, err
+}
+
 func (s *simulator) build(prog workload.Program) error {
 	cfg := s.cfg
 	var err error
@@ -304,9 +312,11 @@ func (s *simulator) build(prog workload.Program) error {
 		return err
 	}
 
-	if cfg.PurifyFailureRate > 0 {
-		s.rng = rand.New(rand.NewSource(cfg.Seed))
-	}
+	// Every run gets its own RNG, unconditionally: sharing the global
+	// source would make seed-0 and seedless runs irreproducible, and a
+	// per-run source is what lets concurrent sweep workers run
+	// identically-seeded points without interleaving draws.
+	s.rng = rand.New(rand.NewSource(cfg.Seed))
 
 	s.pos = make([]mesh.Coord, prog.Qubits)
 	s.lastOp = make([]int, prog.Qubits)

@@ -1,0 +1,87 @@
+// Package channel exposes the analytical reliable-channel models of the
+// paper's Section 4: EPR-pair distribution over chained teleporter hops,
+// the five purification placement policies of Figures 10-12, the
+// ballistic-versus-teleportation methodology comparison of Figures 4-5,
+// and end-to-end channel planning — the latency, bandwidth, error-rate
+// and resource metrics the paper's abstract promises.
+//
+// The event-driven simulator in qnet/simulate measures the same
+// quantities under contention; this package answers the same questions
+// in closed form, instantly, for one path at a time.
+//
+//	p := qnet.IonTrap2006()
+//	cost := channel.DefaultDistribution(p).Evaluate(channel.EndpointsOnly, 30)
+//	ch, err := channel.Plan(channel.Spec{Params: p, Hops: 30})
+package channel
+
+import (
+	"repro/internal/ballistic"
+	"repro/internal/core"
+	"repro/internal/epr"
+
+	"repro/qnet"
+)
+
+// Scheme selects where purification happens during EPR distribution
+// (the five policies of Figures 10-12).
+type Scheme = epr.Scheme
+
+// The five purification placement policies.
+const (
+	EndpointsOnly = epr.EndpointsOnly
+	OnceBefore    = epr.OnceBefore
+	TwiceBefore   = epr.TwiceBefore
+	OnceAfter     = epr.OnceAfter
+	TwiceAfter    = epr.TwiceAfter
+)
+
+// Schemes lists all five placement policies in the paper's Figure 10
+// legend order.
+var Schemes = epr.Schemes
+
+// Distribution models EPR-pair distribution over a chain of teleporter
+// hops.
+type Distribution = epr.Config
+
+// Cost is the resource accounting of one distribution policy over one
+// path length.
+type Cost = epr.Cost
+
+// DefaultDistribution returns the paper's channel-setup model: 600-cell
+// hops, DEJMPS purification, the 7.5e-5 threshold.
+func DefaultDistribution(p qnet.Params) Distribution { return epr.DefaultConfig(p) }
+
+// Spec describes a reliable quantum channel to be planned.
+type Spec = core.Spec
+
+// Channel is a planned reliable quantum channel: the paper's latency,
+// bandwidth, error-rate and resource metrics.
+type Channel = core.Channel
+
+// Plan builds the analytical channel model of the paper's Section 4 for
+// one path.
+func Plan(spec Spec) (Channel, error) { return core.Plan(spec) }
+
+// MovePlan is the electrode-level pulse program that shuttles one ion
+// between traps (Figure 2).
+type MovePlan = ballistic.MovePlan
+
+// PlanMove builds the pulse program moving an ion between two traps.
+func PlanMove(from, to int) (MovePlan, error) { return ballistic.PlanMove(from, to) }
+
+// BallisticDistribution models delivering EPR-pair halves by physically
+// shuttling them down ion-trap channels (the Figure 4 methodology).
+type BallisticDistribution = ballistic.Distribution
+
+// BallisticResult is the outcome of a ballistic distribution.
+type BallisticResult = ballistic.Result
+
+// Comparison contrasts ballistic distribution with chained teleportation
+// over one distance (the paper's Section 4.6).
+type Comparison = ballistic.Comparison
+
+// CompareMethodologies evaluates both distribution methodologies over
+// the given physical distance with the given teleporter-hop length.
+func CompareMethodologies(p qnet.Params, distanceCells, hopCells int) (Comparison, error) {
+	return ballistic.Compare(p, distanceCells, hopCells)
+}

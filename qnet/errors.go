@@ -1,0 +1,58 @@
+package qnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for errors.Is matching.  Every structured error in the
+// qnet packages unwraps to one of these, so callers can classify a
+// failure without knowing the concrete type:
+//
+//	if errors.Is(err, qnet.ErrInvalidConfig) { ... }
+//	var ce *qnet.CapacityError
+//	if errors.As(err, &ce) { log.Printf("need %d %s", ce.Need, ce.Resource) }
+var (
+	// ErrInvalidConfig marks any configuration rejected at build time.
+	ErrInvalidConfig = errors.New("qnet: invalid configuration")
+	// ErrCapacity marks a request exceeding what the configured machine
+	// can hold (for example more logical qubits than mesh tiles).
+	ErrCapacity = errors.New("qnet: capacity exceeded")
+)
+
+// ConfigError reports one rejected configuration field or option.  It
+// unwraps to ErrInvalidConfig.
+type ConfigError struct {
+	// Field is the option or configuration field at fault, for example
+	// "PurifyDepth" or "FailureRate".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason says what a valid value looks like.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("qnet: invalid %s %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidConfig) true.
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }
+
+// CapacityError reports a request that exceeds a machine resource.  It
+// unwraps to ErrCapacity.
+type CapacityError struct {
+	// Resource names the exhausted resource, for example "tiles".
+	Resource string
+	// Need is what the request requires; Have is what the machine has.
+	Need, Have int
+}
+
+// Error implements the error interface.
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("qnet: %s capacity exceeded: need %d, have %d", e.Resource, e.Need, e.Have)
+}
+
+// Unwrap makes errors.Is(err, ErrCapacity) true.
+func (e *CapacityError) Unwrap() error { return ErrCapacity }

@@ -1,0 +1,53 @@
+package qnet_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/qnet"
+)
+
+func TestConfigErrorMatching(t *testing.T) {
+	var err error = &qnet.ConfigError{Field: "PurifyDepth", Value: 99, Reason: "must be in [1,16]"}
+	if !errors.Is(err, qnet.ErrInvalidConfig) {
+		t.Error("ConfigError does not match ErrInvalidConfig")
+	}
+	if errors.Is(err, qnet.ErrCapacity) {
+		t.Error("ConfigError must not match ErrCapacity")
+	}
+	var ce *qnet.ConfigError
+	if !errors.As(err, &ce) || ce.Field != "PurifyDepth" {
+		t.Errorf("errors.As lost the field: %+v", ce)
+	}
+	// Matching must survive wrapping.
+	wrapped := fmt.Errorf("building machine: %w", err)
+	if !errors.Is(wrapped, qnet.ErrInvalidConfig) {
+		t.Error("wrapped ConfigError does not match ErrInvalidConfig")
+	}
+}
+
+func TestCapacityErrorMatching(t *testing.T) {
+	var err error = &qnet.CapacityError{Resource: "tiles", Need: 65, Have: 64}
+	if !errors.Is(err, qnet.ErrCapacity) {
+		t.Error("CapacityError does not match ErrCapacity")
+	}
+	if errors.Is(err, qnet.ErrInvalidConfig) {
+		t.Error("CapacityError must not match ErrInvalidConfig")
+	}
+	var ce *qnet.CapacityError
+	if !errors.As(err, &ce) || ce.Need != 65 || ce.Have != 64 {
+		t.Errorf("errors.As lost the counts: %+v", ce)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	cfg := &qnet.ConfigError{Field: "HopCells", Value: 0, Reason: "must be >= 1"}
+	if got := cfg.Error(); got != "qnet: invalid HopCells 0: must be >= 1" {
+		t.Errorf("ConfigError.Error() = %q", got)
+	}
+	cap := &qnet.CapacityError{Resource: "tiles", Need: 17, Have: 16}
+	if got := cap.Error(); got != "qnet: tiles capacity exceeded: need 17, have 16" {
+		t.Errorf("CapacityError.Error() = %q", got)
+	}
+}

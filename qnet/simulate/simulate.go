@@ -1,0 +1,282 @@
+// Package simulate is the event-driven mesh-interconnect simulator of
+// the paper's Section 5 behind a builder-style public API: a mesh grid
+// of teleporter/generator/purifier nodes executing logical instruction
+// streams under full contention.
+//
+// A Machine is built once from a grid, a layout and functional options,
+// then run against any number of Programs:
+//
+//	m, err := simulate.New(grid, simulate.MobileQubit,
+//		simulate.WithResources(16, 16, 8),
+//		simulate.WithPurifyDepth(3),
+//		simulate.WithSeed(42))
+//	res, err := m.Run(ctx, qnet.QFT(grid.Tiles()))
+//
+// Run takes a context.Context; cancellation and deadlines propagate into
+// the discrete-event loop, so a runaway configuration can be aborted.
+//
+// A Session wraps a Machine for a sequence of runs, deriving a distinct
+// reproducible RNG seed per run and recording every result.  Sweep
+// expands a parameter space (grids × layouts × resources × programs ×
+// depths × seeds) and fans the runs out across worker goroutines — see
+// sweep.go.
+//
+// Configuration mistakes surface as *qnet.ConfigError and capacity
+// overruns as *qnet.CapacityError, matchable with errors.Is/errors.As.
+package simulate
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/netsim"
+
+	"repro/qnet"
+)
+
+// Layout selects the logical-qubit floorplan (Figure 15).
+type Layout = netsim.Layout
+
+// The two floorplans of the paper's Section 5.
+const (
+	// HomeBase gives every logical qubit a fixed home tile; operands
+	// teleport in for each operation and back home afterwards.
+	HomeBase = netsim.HomeBase
+	// MobileQubit lets the moving operand stay wherever it travels.
+	MobileQubit = netsim.MobileQubit
+)
+
+// Result summarizes a simulation run: execution time, channel and EPR
+// statistics, event counts and resource utilizations.
+type Result = netsim.Result
+
+// Detail carries per-component statistics of a run (per-tile and
+// per-link utilizations, turn counts, ASCII heatmaps) for bottleneck
+// analysis.
+type Detail = netsim.Detail
+
+// Option configures a Machine.  Options are applied in order over the
+// paper's defaults (depth-3 purifiers, level-2 Steane code, 600-cell
+// hops, t=g=p=16, the Table 1-2 ion-trap device).
+type Option func(*netsim.Config)
+
+// WithParams replaces the device constants (Tables 1 and 2).
+func WithParams(p qnet.Params) Option {
+	return func(c *netsim.Config) { c.Params = p }
+}
+
+// WithResources sets the per-node resource counts: t teleporters per T'
+// node, g generators per G node and p queue purifiers per P node.
+func WithResources(t, g, p int) Option {
+	return func(c *netsim.Config) {
+		c.Teleporters, c.Generators, c.Purifiers = t, g, p
+	}
+}
+
+// WithPurifyDepth sets the queue-purifier tree depth (the paper uses 3:
+// 8 pairs per purified output).
+func WithPurifyDepth(depth int) Option {
+	return func(c *netsim.Config) { c.PurifyDepth = depth }
+}
+
+// WithCodeLevel sets the Steane concatenation level of transported
+// logical qubits (the paper uses 2: 49 physical qubits).
+func WithCodeLevel(level int) Option {
+	return func(c *netsim.Config) { c.CodeLevel = level }
+}
+
+// WithHopCells sets the physical span of one mesh hop (the paper derives
+// 600 cells from the latency crossover).
+func WithHopCells(cells int) Option {
+	return func(c *netsim.Config) { c.HopCells = cells }
+}
+
+// WithTurnCells sets the in-router ballistic distance paid on X/Y turns.
+func WithTurnCells(cells int) Option {
+	return func(c *netsim.Config) { c.TurnCells = cells }
+}
+
+// WithSeed sets the base seed of the machine's per-run RNG.  Two
+// machines with equal configurations and seeds produce identical runs.
+func WithSeed(seed int64) Option {
+	return func(c *netsim.Config) { c.Seed = seed }
+}
+
+// WithFailureRate injects stochastic purification failure: each batch
+// fails end-to-end purification with this probability and a replacement
+// batch is sent through the network.  Zero (the default) keeps the
+// simulation fully deterministic regardless of seed.
+func WithFailureRate(rate float64) Option {
+	return func(c *netsim.Config) { c.PurifyFailureRate = rate }
+}
+
+// Machine is a configured, validated simulated quantum computer.  It is
+// immutable after New and safe for concurrent use: every Run builds
+// fresh simulator state (including a per-run RNG), so one Machine can
+// serve many goroutines.
+type Machine struct {
+	cfg netsim.Config
+}
+
+// New builds a Machine on the given grid and layout, applying opts over
+// the paper's defaults.  It returns a *qnet.ConfigError describing the
+// first invalid setting.
+func New(grid qnet.Grid, layout Layout, opts ...Option) (*Machine, error) {
+	cfg := netsim.DefaultConfig(grid, layout, 16, 16, 16)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	// Backstop: any rule added to netsim.Config.Validate that validate
+	// does not mirror yet still surfaces here at build time as a
+	// structured error, not at Run time as a bare string.
+	if err := cfg.Validate(); err != nil {
+		return nil, &qnet.ConfigError{Field: "Config", Value: "-", Reason: err.Error()}
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// validate mirrors netsim.Config.Validate with structured errors, so
+// misconfiguration is caught at build time and matchable with errors.Is.
+func validate(cfg netsim.Config) error {
+	if err := cfg.Params.Validate(); err != nil {
+		return &qnet.ConfigError{Field: "Params", Value: "-", Reason: err.Error()}
+	}
+	if cfg.Grid.Tiles() == 0 {
+		return &qnet.ConfigError{Field: "Grid", Value: cfg.Grid, Reason: "grid must contain at least one tile"}
+	}
+	switch cfg.Layout {
+	case HomeBase, MobileQubit:
+	default:
+		return &qnet.ConfigError{Field: "Layout", Value: int(cfg.Layout), Reason: "want HomeBase or MobileQubit"}
+	}
+	if cfg.Teleporters < 1 {
+		return &qnet.ConfigError{Field: "Teleporters", Value: cfg.Teleporters, Reason: "must be >= 1"}
+	}
+	if cfg.Generators < 1 {
+		return &qnet.ConfigError{Field: "Generators", Value: cfg.Generators, Reason: "must be >= 1"}
+	}
+	if cfg.Purifiers < 1 {
+		return &qnet.ConfigError{Field: "Purifiers", Value: cfg.Purifiers, Reason: "must be >= 1"}
+	}
+	if cfg.PurifyDepth < 1 || cfg.PurifyDepth > 16 {
+		return &qnet.ConfigError{Field: "PurifyDepth", Value: cfg.PurifyDepth, Reason: "must be in [1,16]"}
+	}
+	if cfg.CodeLevel < 0 {
+		return &qnet.ConfigError{Field: "CodeLevel", Value: cfg.CodeLevel, Reason: "must be >= 0"}
+	}
+	if cfg.HopCells < 1 {
+		return &qnet.ConfigError{Field: "HopCells", Value: cfg.HopCells, Reason: "must be >= 1"}
+	}
+	if cfg.TurnCells < 0 {
+		return &qnet.ConfigError{Field: "TurnCells", Value: cfg.TurnCells, Reason: "must be >= 0"}
+	}
+	if cfg.PurifyFailureRate < 0 || cfg.PurifyFailureRate >= 1 {
+		return &qnet.ConfigError{Field: "FailureRate", Value: cfg.PurifyFailureRate, Reason: "must be in [0,1)"}
+	}
+	return nil
+}
+
+// Grid returns the machine's mesh.
+func (m *Machine) Grid() qnet.Grid { return m.cfg.Grid }
+
+// Layout returns the machine's floorplan policy.
+func (m *Machine) Layout() Layout { return m.cfg.Layout }
+
+// Seed returns the machine's base RNG seed.
+func (m *Machine) Seed() int64 { return m.cfg.Seed }
+
+// checkProgram validates prog against the machine's capacity.
+func (m *Machine) checkProgram(prog qnet.Program) error {
+	if err := prog.Validate(); err != nil {
+		return &qnet.ConfigError{Field: "Program", Value: prog.Name, Reason: err.Error()}
+	}
+	if prog.Qubits > m.cfg.Grid.Tiles() {
+		return &qnet.CapacityError{Resource: "tiles", Need: prog.Qubits, Have: m.cfg.Grid.Tiles()}
+	}
+	return nil
+}
+
+// Run executes one logical instruction stream on the machine.  The
+// context is threaded into the discrete-event loop: when ctx is
+// cancelled or its deadline passes, Run aborts and returns an error
+// wrapping ctx.Err().
+func (m *Machine) Run(ctx context.Context, prog qnet.Program) (Result, error) {
+	res, _, err := m.RunDetailed(ctx, prog)
+	return res, err
+}
+
+// RunDetailed is Run plus per-component statistics for bottleneck
+// analysis and heatmaps.
+func (m *Machine) RunDetailed(ctx context.Context, prog qnet.Program) (Result, *Detail, error) {
+	if err := m.checkProgram(prog); err != nil {
+		return Result{}, nil, err
+	}
+	return netsim.RunDetailedContext(ctx, m.cfg, prog)
+}
+
+// runSeeded is Run with the per-run seed overridden (Session and Sweep
+// derive one seed per run from the base seed).
+func (m *Machine) runSeeded(ctx context.Context, prog qnet.Program, seed int64) (Result, error) {
+	if err := m.checkProgram(prog); err != nil {
+		return Result{}, err
+	}
+	cfg := m.cfg
+	cfg.Seed = seed
+	return netsim.RunContext(ctx, cfg, prog)
+}
+
+// Session runs a sequence of programs on one Machine.  Each run gets a
+// distinct, reproducibly derived RNG seed (run i of two sessions on
+// identical machines behaves identically), and every result is
+// recorded.  A Session is not safe for concurrent use; create one per
+// goroutine, or use Sweep for parallel fan-out.
+type Session struct {
+	machine *Machine
+	runs    int
+	results []Result
+}
+
+// NewSession starts a fresh run sequence on the machine.
+func (m *Machine) NewSession() *Session {
+	return &Session{machine: m}
+}
+
+// deriveSeed mixes a base seed and a run index into a decorrelated
+// per-run seed (splitmix64 finalizer).
+func deriveSeed(base int64, run int) int64 {
+	z := uint64(base) + uint64(run+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Run executes prog as the session's next run.
+func (s *Session) Run(ctx context.Context, prog qnet.Program) (Result, error) {
+	seed := deriveSeed(s.machine.cfg.Seed, s.runs)
+	res, err := s.machine.runSeeded(ctx, prog, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	s.runs++
+	s.results = append(s.results, res)
+	return res, nil
+}
+
+// Runs returns the number of completed runs.
+func (s *Session) Runs() int { return s.runs }
+
+// Results returns the recorded results of all completed runs, in run
+// order.  The returned slice is the session's own; do not modify it.
+func (s *Session) Results() []Result { return s.results }
+
+// TotalExec sums the execution times of all completed runs.
+func (s *Session) TotalExec() time.Duration {
+	var total time.Duration
+	for _, r := range s.results {
+		total += r.Exec
+	}
+	return total
+}

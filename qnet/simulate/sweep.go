@@ -1,0 +1,279 @@
+package simulate
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+
+	"repro/qnet"
+)
+
+// Resources is one per-node resource allocation: t teleporters, g
+// generators and p queue purifiers.
+type Resources struct {
+	Teleporters, Generators, Purifiers int
+}
+
+// Allocation is one point of the paper's Figure 16 resource sweep:
+// teleporters and generators are scaled to Ratio times the purifier
+// count while the total area t+g+p stays fixed.
+type Allocation = netsim.Allocation
+
+// Allocations builds the Figure 16 configurations: for each ratio r the
+// area budget is split so t = g ≈ r·p and t+g+p = area.
+func Allocations(area int, ratios []int) ([]Allocation, error) {
+	return netsim.SweepAllocations(area, ratios)
+}
+
+// AllocationResources converts an allocation to a sweep resource point.
+func AllocationResources(a Allocation) Resources {
+	return Resources{Teleporters: a.T, Generators: a.G, Purifiers: a.P}
+}
+
+// Space is a parameter grid to sweep: the cross product of every
+// populated dimension.  Grids, Layouts, Resources and Programs are
+// required; Depths defaults to {3} (the paper's purifier depth) and
+// Seeds to {0}.  Options are applied to every machine before the
+// per-point settings, so device parameters, code level, hop length or
+// failure injection can be varied machine-wide.
+type Space struct {
+	Grids     []qnet.Grid
+	Layouts   []Layout
+	Resources []Resources
+	Programs  []qnet.Program
+	Depths    []int
+	Seeds     []int64
+	Options   []Option
+}
+
+// Size returns the number of points the space expands to.
+func (sp Space) Size() int {
+	n := len(sp.Grids) * len(sp.Layouts) * len(sp.Resources) * len(sp.Programs)
+	if len(sp.Depths) > 0 {
+		n *= len(sp.Depths)
+	}
+	if len(sp.Seeds) > 0 {
+		n *= len(sp.Seeds)
+	}
+	return n
+}
+
+// Point is one expanded configuration of a Space.  Index is the point's
+// position in the deterministic expansion order (grids ≫ layouts ≫
+// resources ≫ programs ≫ depths ≫ seeds, last dimension fastest).
+type Point struct {
+	Index     int
+	Grid      qnet.Grid
+	Layout    Layout
+	Resources Resources
+	Program   qnet.Program
+	Depth     int
+	Seed      int64
+}
+
+// SweepPoint is one finished run of a sweep: the point, its result, and
+// the error if the run failed (a failed point does not abort the sweep).
+type SweepPoint struct {
+	Point  Point
+	Result Result
+	Err    error
+}
+
+// points expands the space in deterministic order.
+func (sp Space) points() ([]Point, error) {
+	for _, dim := range []struct {
+		name string
+		n    int
+	}{
+		{"Grids", len(sp.Grids)},
+		{"Layouts", len(sp.Layouts)},
+		{"Resources", len(sp.Resources)},
+		{"Programs", len(sp.Programs)},
+	} {
+		if dim.n == 0 {
+			return nil, &qnet.ConfigError{Field: "Space." + dim.name, Value: 0, Reason: "dimension must not be empty"}
+		}
+	}
+	depths := sp.Depths
+	if len(depths) == 0 {
+		depths = []int{3}
+	}
+	seeds := sp.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	pts := make([]Point, 0, sp.Size())
+	for _, grid := range sp.Grids {
+		for _, layout := range sp.Layouts {
+			for _, res := range sp.Resources {
+				for _, prog := range sp.Programs {
+					for _, depth := range depths {
+						for _, seed := range seeds {
+							pts = append(pts, Point{
+								Index:     len(pts),
+								Grid:      grid,
+								Layout:    layout,
+								Resources: res,
+								Program:   prog,
+								Depth:     depth,
+								Seed:      seed,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts, nil
+}
+
+// machine builds the validated Machine for one point.
+func (sp Space) machine(pt Point) (*Machine, error) {
+	opts := make([]Option, 0, len(sp.Options)+3)
+	opts = append(opts, sp.Options...)
+	opts = append(opts,
+		WithResources(pt.Resources.Teleporters, pt.Resources.Generators, pt.Resources.Purifiers),
+		WithPurifyDepth(pt.Depth),
+		WithSeed(pt.Seed),
+	)
+	return New(pt.Grid, pt.Layout, opts...)
+}
+
+// SweepOption configures a sweep.
+type SweepOption func(*sweepConfig)
+
+type sweepConfig struct {
+	workers  int
+	progress func(done, total int)
+}
+
+// WithWorkers sets the worker-goroutine count.  Values below 1 (and the
+// default) mean GOMAXPROCS.
+func WithWorkers(n int) SweepOption {
+	return func(c *sweepConfig) { c.workers = n }
+}
+
+// WithProgress installs a progress callback invoked after every finished
+// point with the completed and total counts.  Sweep calls it from the
+// collecting goroutine, so the callback needs no locking; Stream ignores
+// it (the drained channel is the progress signal).
+func WithProgress(fn func(done, total int)) SweepOption {
+	return func(c *sweepConfig) { c.progress = fn }
+}
+
+// Sweep expands the space and runs every point, fanning the runs out
+// across worker goroutines.  Each point gets its own Machine and its own
+// per-run RNG seeded from the point's seed, so results are independent
+// of worker count and scheduling: a sweep is exactly as reproducible as
+// its points.  Results are returned in expansion order.  Per-point
+// simulation failures are recorded in SweepPoint.Err; Sweep itself
+// returns an error only for an invalid space or a cancelled context
+// (alongside the points finished before cancellation).
+func Sweep(ctx context.Context, space Space, opts ...SweepOption) ([]SweepPoint, error) {
+	cfg := sweepOptions(opts)
+	ch, total, err := stream(ctx, space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, total)
+	for sp := range ch {
+		out = append(out, sp)
+		if cfg.progress != nil {
+			cfg.progress(len(out), total)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Point.Index < out[j].Point.Index })
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Stream is Sweep with results delivered as they finish, in completion
+// order, over the returned channel.  The second return is the total
+// point count.  The channel closes when every point has been delivered
+// or the context is cancelled.  The caller must either drain the
+// channel or cancel ctx; abandoning the channel mid-stream leaves the
+// worker goroutines blocked on their sends for the life of ctx.
+func Stream(ctx context.Context, space Space, opts ...SweepOption) (<-chan SweepPoint, int, error) {
+	return stream(ctx, space, sweepOptions(opts))
+}
+
+func sweepOptions(opts []SweepOption) sweepConfig {
+	var cfg sweepConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoint, int, error) {
+	pts, err := space.points()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Validate every point's machine up front so configuration errors
+	// surface before any simulation work is spent.
+	machines := make([]*Machine, len(pts))
+	for i, pt := range pts {
+		m, err := space.machine(pt)
+		if err != nil {
+			return nil, 0, err
+		}
+		machines[i] = m
+	}
+
+	workers := cfg.workers
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	jobs := make(chan int)
+	results := make(chan SweepPoint, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// The explicit Err checks (here and in the feeder) make
+				// cancellation deterministic: a select with a ready send
+				// and a closed Done channel picks randomly, which would
+				// let an already-cancelled sweep deliver stray points.
+				if ctx.Err() != nil {
+					return
+				}
+				res, err := machines[i].Run(ctx, pts[i].Program)
+				select {
+				case results <- SweepPoint{Point: pts[i], Result: res, Err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range pts {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	return results, len(pts), nil
+}

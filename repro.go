@@ -1,180 +1,246 @@
-// Package repro is a Go reproduction of "Interconnection Networks for
-// Scalable Quantum Computers" (Isailovic, Patel, Whitney, Kubiatowicz —
-// ISCA 2006, arXiv:quant-ph/0604048).
+// Package repro is the legacy flat facade over this repository's
+// reproduction of "Interconnection Networks for Scalable Quantum
+// Computers" (Isailovic, Patel, Whitney, Kubiatowicz — ISCA 2006,
+// arXiv:quant-ph/0604048).
 //
-// The paper shows that communication in a quantum computer reduces to
-// constructing reliable quantum channels by distributing high-fidelity
-// EPR pairs, develops analytical models of such channels (latency,
-// bandwidth, error rate, resource usage), and simulates a mesh-grid
-// interconnect of teleporter nodes running the Quantum Fourier
-// Transform.
+// Deprecated: use the qnet package tree instead.  This package is now a
+// thin shim re-exporting the same symbols from their new homes and will
+// be removed one release after the redesign:
 //
-// This package is a facade over the implementation packages, re-exported
-// so that the library presents one coherent public API:
+//   - device, fidelity, purification, codes, grids, workloads:
+//     package repro/qnet
+//   - channel planning and EPR distribution: package repro/qnet/channel
+//   - the network simulator: package repro/qnet/simulate, whose
+//     Machine/Session API replaces DefaultSimConfig/RunSimulation and
+//     adds context cancellation and a concurrent sweep engine
 //
-//   - Device parameters (Tables 1-2):       Params, IonTrap2006
-//   - Channel fidelity models (Eqs 1-6):    Ballistic, Teleport, Generate
-//   - Bell-diagonal states:                 Bell, Werner
-//   - Purification (Fig 8, Fig 14):         DEJMPS, BBPSSW, QueuePurifier
-//   - EPR distribution policies (Figs 9-12): DistributionConfig, Scheme
-//   - Error-correction sizing:              Steane
-//   - The network simulator (Fig 16):       SimConfig, RunSimulation
-//   - Workloads (Shor kernels):             QFT, ModMult, ModExp
+// Migration table:
 //
-// The deeper APIs (discrete-event engine, router model, classical
-// network, report emitters) live in the internal packages and are
-// exercised through the commands in cmd/ and the examples in examples/.
+//	repro.DefaultSimConfig(grid, layout, t, g, p)  ->  simulate.New(grid, layout, simulate.WithResources(t, g, p))
+//	repro.RunSimulation(cfg, prog)                 ->  machine.Run(ctx, prog)
+//	repro.DefaultDistributionConfig(p)             ->  channel.DefaultDistribution(p)
+//	repro.PlanChannel(spec)                        ->  channel.Plan(spec)
+//	everything else                                ->  same name in repro/qnet
 package repro
 
 import (
-	"repro/internal/core"
-	"repro/internal/ecc"
-	"repro/internal/epr"
-	"repro/internal/fidelity"
-	"repro/internal/mesh"
+	"context"
+
 	"repro/internal/netsim"
-	"repro/internal/phys"
-	"repro/internal/purify"
-	"repro/internal/workload"
+
+	"repro/qnet"
+	"repro/qnet/channel"
+	"repro/qnet/simulate"
 )
 
 // Params bundles the ion-trap device constants of the paper's Tables 1
 // and 2.
-type Params = phys.Params
+//
+// Deprecated: use qnet.Params.
+type Params = qnet.Params
 
 // IonTrap2006 returns the paper's baseline device parameters.
-func IonTrap2006() Params { return phys.IonTrap2006() }
+//
+// Deprecated: use qnet.IonTrap2006.
+func IonTrap2006() Params { return qnet.IonTrap2006() }
 
 // ThresholdError is the fault-tolerance threshold 7.5e-5 the paper
 // imposes on data-qubit error.
-const ThresholdError = fidelity.ThresholdError
+//
+// Deprecated: use qnet.ThresholdError.
+const ThresholdError = qnet.ThresholdError
 
 // Bell is a Bell-diagonal two-qubit state; its A coefficient is the
 // pair's fidelity.
-type Bell = fidelity.Bell
+//
+// Deprecated: use qnet.Bell.
+type Bell = qnet.Bell
 
 // Werner lifts a scalar fidelity into the Bell-diagonal representation.
-func Werner(f float64) Bell { return fidelity.Werner(f) }
+//
+// Deprecated: use qnet.Werner.
+func Werner(f float64) Bell { return qnet.Werner(f) }
 
 // Ballistic applies the paper's Eq 1: fidelity after moving a qubit over
 // the given number of ion-trap cells.
+//
+// Deprecated: use qnet.Ballistic.
 func Ballistic(p Params, old float64, cells int) float64 {
-	return fidelity.Ballistic(p, old, cells)
+	return qnet.Ballistic(p, old, cells)
 }
 
 // Teleport applies the paper's Eq 3: fidelity after one teleportation
 // using an EPR pair of the given fidelity.
-func Teleport(p Params, old, epr float64) float64 { return fidelity.Teleport(p, old, epr) }
+//
+// Deprecated: use qnet.Teleport.
+func Teleport(p Params, old, epr float64) float64 { return qnet.Teleport(p, old, epr) }
 
 // Generate applies the paper's Eq 4: fidelity of a freshly generated EPR
 // pair.
-func Generate(p Params, fzero float64) float64 { return fidelity.Generate(p, fzero) }
+//
+// Deprecated: use qnet.Generate.
+func Generate(p Params, fzero float64) float64 { return qnet.Generate(p, fzero) }
 
 // Protocol is a two-to-one entanglement purification protocol.
-type Protocol = purify.Protocol
+//
+// Deprecated: use qnet.Protocol.
+type Protocol = qnet.Protocol
 
 // DEJMPS is the Deutsch et al. purification protocol (the paper's
 // choice).
-type DEJMPS = purify.DEJMPS
+//
+// Deprecated: use qnet.DEJMPS.
+type DEJMPS = qnet.DEJMPS
 
 // BBPSSW is the Bennett et al. purification protocol.
-type BBPSSW = purify.BBPSSW
+//
+// Deprecated: use qnet.BBPSSW.
+type BBPSSW = qnet.BBPSSW
 
 // QueuePurifier is the robust queue-based purifier of Figure 14.
-type QueuePurifier = purify.QueuePurifier
+//
+// Deprecated: use qnet.QueuePurifier.
+type QueuePurifier = qnet.QueuePurifier
 
 // NewQueuePurifier builds a queue purifier of the given tree depth.
+//
+// Deprecated: use qnet.NewQueuePurifier.
 func NewQueuePurifier(proto Protocol, depth int) (*QueuePurifier, error) {
-	return purify.NewQueuePurifier(proto, depth)
+	return qnet.NewQueuePurifier(proto, depth)
 }
 
 // Scheme selects where purification happens during EPR distribution
 // (the five policies of Figures 10-12).
-type Scheme = epr.Scheme
+//
+// Deprecated: use channel.Scheme.
+type Scheme = channel.Scheme
 
 // The five purification placement policies.
+//
+// Deprecated: use the channel package constants.
 const (
-	EndpointsOnly = epr.EndpointsOnly
-	OnceBefore    = epr.OnceBefore
-	TwiceBefore   = epr.TwiceBefore
-	OnceAfter     = epr.OnceAfter
-	TwiceAfter    = epr.TwiceAfter
+	EndpointsOnly = channel.EndpointsOnly
+	OnceBefore    = channel.OnceBefore
+	TwiceBefore   = channel.TwiceBefore
+	OnceAfter     = channel.OnceAfter
+	TwiceAfter    = channel.TwiceAfter
 )
 
 // DistributionConfig models EPR-pair distribution over a chain of
 // teleporter hops.
-type DistributionConfig = epr.Config
+//
+// Deprecated: use channel.Distribution.
+type DistributionConfig = channel.Distribution
 
 // DefaultDistributionConfig returns the paper's channel-setup model:
 // 600-cell hops, DEJMPS purification, 7.5e-5 target.
-func DefaultDistributionConfig(p Params) DistributionConfig { return epr.DefaultConfig(p) }
+//
+// Deprecated: use channel.DefaultDistribution.
+func DefaultDistributionConfig(p Params) DistributionConfig { return channel.DefaultDistribution(p) }
 
 // Code is a concatenated quantum error-correcting code.
-type Code = ecc.Code
+//
+// Deprecated: use qnet.Code.
+type Code = qnet.Code
 
 // Steane returns the concatenated Steane [[7,1,3]] code at the given
 // level; level 2 (49 physical qubits) is the paper's choice.
-func Steane(level int) (Code, error) { return ecc.Steane(level) }
+//
+// Deprecated: use qnet.Steane.
+func Steane(level int) (Code, error) { return qnet.Steane(level) }
 
 // Grid is a rectangular tile mesh.
-type Grid = mesh.Grid
+//
+// Deprecated: use qnet.Grid.
+type Grid = qnet.Grid
 
 // NewGrid builds a mesh of the given dimensions.
-func NewGrid(w, h int) (Grid, error) { return mesh.NewGrid(w, h) }
+//
+// Deprecated: use qnet.NewGrid.
+func NewGrid(w, h int) (Grid, error) { return qnet.NewGrid(w, h) }
 
 // Layout selects the logical-qubit floorplan (Figure 15).
-type Layout = netsim.Layout
+//
+// Deprecated: use simulate.Layout.
+type Layout = simulate.Layout
 
 // The two floorplans of the paper's Section 5.
+//
+// Deprecated: use the simulate package constants.
 const (
-	HomeBase    = netsim.HomeBase
-	MobileQubit = netsim.MobileQubit
+	HomeBase    = simulate.HomeBase
+	MobileQubit = simulate.MobileQubit
 )
 
 // SimConfig parameterizes the event-driven network simulator.
+//
+// Deprecated: configure a simulate.Machine with functional options
+// instead.
 type SimConfig = netsim.Config
 
 // SimResult summarizes a simulation run.
-type SimResult = netsim.Result
+//
+// Deprecated: use simulate.Result.
+type SimResult = simulate.Result
 
 // DefaultSimConfig returns the paper's simulator parameters on the given
 // grid with per-node resource counts t (teleporters), g (generators) and
 // p (queue purifiers).
+//
+// Deprecated: use simulate.New(grid, layout, simulate.WithResources(t, g, p)).
 func DefaultSimConfig(grid Grid, layout Layout, t, g, p int) SimConfig {
 	return netsim.DefaultConfig(grid, layout, t, g, p)
 }
 
 // RunSimulation executes a logical instruction stream on the simulated
 // machine.
+//
+// Deprecated: use simulate.Machine.Run, which takes a context.Context.
 func RunSimulation(cfg SimConfig, prog Program) (SimResult, error) {
-	return netsim.Run(cfg, prog)
+	return netsim.RunContext(context.Background(), cfg, prog)
 }
 
 // ChannelSpec describes a reliable quantum channel to be planned.
-type ChannelSpec = core.Spec
+//
+// Deprecated: use channel.Spec.
+type ChannelSpec = channel.Spec
 
 // Channel is a planned reliable quantum channel: the paper's latency,
 // bandwidth, error-rate and resource metrics.
-type Channel = core.Channel
+//
+// Deprecated: use channel.Channel.
+type Channel = channel.Channel
 
 // PlanChannel builds the analytical channel model of the paper's
 // Section 4 for one path.
-func PlanChannel(spec ChannelSpec) (Channel, error) { return core.Plan(spec) }
+//
+// Deprecated: use channel.Plan.
+func PlanChannel(spec ChannelSpec) (Channel, error) { return channel.Plan(spec) }
 
 // Program is a logical instruction stream of two-qubit operations.
-type Program = workload.Program
+//
+// Deprecated: use qnet.Program.
+type Program = qnet.Program
 
 // Op is one two-logical-qubit operation.
-type Op = workload.Op
+//
+// Deprecated: use qnet.Op.
+type Op = qnet.Op
 
 // QFT returns the Quantum Fourier Transform communication pattern
 // (all-to-all) on n logical qubits.
-func QFT(n int) Program { return workload.QFT(n) }
+//
+// Deprecated: use qnet.QFT.
+func QFT(n int) Program { return qnet.QFT(n) }
 
 // ModMult returns the Modular Multiplication pattern (bipartite) between
 // two sets of n logical qubits.
-func ModMult(n int) Program { return workload.ModMult(n) }
+//
+// Deprecated: use qnet.ModMult.
+func ModMult(n int) Program { return qnet.ModMult(n) }
 
 // ModExp returns the Modular Exponentiation pattern (alternating
 // all-to-all and bipartite) over two sets of n qubits.
-func ModExp(n, steps int) Program { return workload.ModExp(n, steps) }
+//
+// Deprecated: use qnet.ModExp.
+func ModExp(n, steps int) Program { return qnet.ModExp(n, steps) }

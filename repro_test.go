@@ -1,9 +1,12 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	repro "repro"
+	"repro/qnet"
+	"repro/qnet/simulate"
 )
 
 // The facade tests exercise the public API end to end, the way a
@@ -78,6 +81,38 @@ func TestFacadeSimulation(t *testing.T) {
 		}
 		if res.Exec <= 0 {
 			t.Errorf("%v: non-positive exec time", layout)
+		}
+	}
+}
+
+// TestFacadeParity asserts the deprecated repro shim and the qnet API
+// produce identical results for the same configuration — the guarantee
+// that lets downstream users migrate call by call.
+func TestFacadeParity(t *testing.T) {
+	oldGrid, err := repro.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newGrid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layout := range []repro.Layout{repro.HomeBase, repro.MobileQubit} {
+		oldRes, err := repro.RunSimulation(
+			repro.DefaultSimConfig(oldGrid, layout, 16, 16, 8), repro.QFT(16))
+		if err != nil {
+			t.Fatalf("%v: legacy run: %v", layout, err)
+		}
+		m, err := simulate.New(newGrid, layout, simulate.WithResources(16, 16, 8))
+		if err != nil {
+			t.Fatalf("%v: simulate.New: %v", layout, err)
+		}
+		newRes, err := m.Run(context.Background(), qnet.QFT(16))
+		if err != nil {
+			t.Fatalf("%v: qnet run: %v", layout, err)
+		}
+		if oldRes != newRes {
+			t.Errorf("%v: facade and qnet results differ:\n old %+v\n new %+v", layout, oldRes, newRes)
 		}
 	}
 }

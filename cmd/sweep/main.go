@@ -5,7 +5,9 @@
 // design decisions called out in DESIGN.md.
 //
 // The depth sweep runs every configuration concurrently through the
-// qnet/simulate sweep engine.
+// qnet/simulate sweep engine, optionally as a multi-seed ensemble with
+// failure injection, and caches results on disk with -cache-dir so a
+// repeated ablation only simulates what changed.
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	sweep -mode hops                # hop-length ablation
 //	sweep -mode depth -grid 6       # purifier-depth ablation (simulator)
 //	sweep -mode depth -workers 8    # explicit worker count
+//	sweep -mode depth -seeds 5 -failure 0.05 -cache-dir .qnet
 package main
 
 import (
@@ -20,20 +23,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/report"
 
 	"repro/qnet"
 	"repro/qnet/channel"
 	"repro/qnet/simulate"
+	"repro/qnet/stats"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "errors", "sweep mode: errors, hops, depth or methodology")
-		dist    = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
-		gridN   = flag.Int("grid", 6, "mesh edge length for the depth sweep")
-		workers = flag.Int("workers", 0, "worker goroutines for the depth sweep (0 = GOMAXPROCS)")
+		mode     = flag.String("mode", "errors", "sweep mode: errors, hops, depth or methodology")
+		dist     = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
+		gridN    = flag.Int("grid", 6, "mesh edge length for the depth sweep")
+		workers  = flag.Int("workers", 0, "worker goroutines for the depth sweep (0 = GOMAXPROCS)")
+		seeds    = flag.Int("seeds", 1, "ensemble size (seeds per depth-sweep point)")
+		failure  = flag.Float64("failure", 0, "purification failure-injection rate for the depth sweep")
+		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty: no cache)")
 	)
 	flag.Parse()
 
@@ -44,7 +52,7 @@ func main() {
 	case "hops":
 		err = sweepHops(*dist)
 	case "depth":
-		err = sweepDepth(*gridN, *workers)
+		err = sweepDepth(*gridN, *workers, *seeds, *failure, *cacheDir)
 	case "methodology":
 		err = sweepMethodology()
 	default:
@@ -93,7 +101,7 @@ func sweepHops(dist int) error {
 
 // depthSweepSpace is the cmd/sweep default grid: the queue-purifier
 // depth ablation the benchmark in qnet/simulate measures.
-func depthSweepSpace(gridN int) (simulate.Space, error) {
+func depthSweepSpace(gridN, seeds int, failure float64) (simulate.Space, error) {
 	grid, err := qnet.NewGrid(gridN, gridN)
 	if err != nil {
 		return simulate.Space{}, err
@@ -104,31 +112,52 @@ func depthSweepSpace(gridN int) (simulate.Space, error) {
 		Resources: []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
 		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
 		Depths:    []int{1, 2, 3, 4, 5},
+		Seeds:     simulate.SeedRange(seeds),
+		Options:   []simulate.Option{simulate.WithFailureRate(failure)},
 	}, nil
 }
 
 // sweepDepth varies the queue-purifier depth in the full simulator,
-// running all depths concurrently.
-func sweepDepth(gridN, workers int) error {
-	space, err := depthSweepSpace(gridN)
+// running all depths (times all seeds) concurrently and folding the
+// seed dimension into mean ± 95% CI columns.
+func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string) error {
+	space, err := depthSweepSpace(gridN, seeds, failure)
 	if err != nil {
 		return err
 	}
-	points, err := simulate.Sweep(context.Background(), space,
-		simulate.WithWorkers(workers))
+	opts := []simulate.SweepOption{simulate.WithWorkers(workers)}
+	if cacheDir != "" {
+		cache, err := simulate.NewDiskCache(cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, simulate.WithCache(cache))
+	}
+	points, err := simulate.Sweep(context.Background(), space, opts...)
 	if err != nil {
 		return err
 	}
-	t := report.NewTable(
-		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8)", gridN*gridN),
-		"Depth", "PairsPerOutput", "PairsDelivered", "Exec")
 	for _, pt := range points {
 		if pt.Err != nil {
 			return pt.Err
 		}
-		t.AddRow(pt.Point.Depth, 1<<uint(pt.Point.Depth), pt.Result.PairsDelivered, pt.Result.Exec.String())
 	}
-	return t.WriteText(os.Stdout)
+	t := report.NewTable(
+		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8, %d seeds)",
+			gridN*gridN, len(space.Seeds)),
+		"Depth", "PairsPerOutput", "PairsDelivered", "MeanExec", "ExecCI95")
+	for _, g := range stats.Group(points) {
+		e := g.Ensemble
+		t.AddRow(g.Point.Depth, 1<<uint(g.Point.Depth),
+			uint64(e.PairsDelivered.Mean),
+			e.MeanExec().String(),
+			fmt.Sprintf("± %s", time.Duration(e.Exec.CI(0.95).Half()*float64(time.Second))))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sweep:", simulate.Summarize(points))
+	return nil
 }
 
 // sweepMethodology compares the two EPR distribution methodologies of

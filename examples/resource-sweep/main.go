@@ -1,4 +1,5 @@
-// Resource allocation sweep: a configurable Figure 16, run concurrently.
+// Resource allocation sweep: a configurable Figure 16, run concurrently
+// as a multi-seed ensemble with content-addressed result caching.
 //
 // The paper's final experiment fixes the chip area devoted to the
 // interconnect (T' + G + P nodes) and varies how it is split between
@@ -6,16 +7,21 @@
 // T' nodes heavily, so they tolerate fewer purifiers; the Mobile Qubit
 // layout's local traffic hammers the endpoint purifiers instead.
 //
-// All configurations (both layouts × every allocation, plus the
-// unlimited-resource baselines) fan out across the sweep engine's
-// worker pool, and the results print as a normalized-execution table.
+// All configurations (both layouts × every allocation × every seed,
+// plus the unlimited-resource baselines) fan out across the sweep
+// engine's worker pool; stats.Group folds the seed dimension into
+// mean ± 95% CI rows.  With -cache-dir the results are stored under a
+// content hash of each fully-resolved run, so re-running the example —
+// or running it again with one extra allocation — only simulates what
+// is new (watch the cache line at the end of the output).
 //
 // This example deliberately builds the Space and decodes the results by
-// hand to show the public qnet/simulate API end to end; the library
-// version of the same experiment — with ASCII plot output — is
-// internal/figures.Fig16, reachable via `cmd/figures -fig 16`.
+// hand to show the public qnet/simulate + qnet/stats API end to end;
+// the library version of the same experiment — with ASCII plot output —
+// is internal/figures.Fig16, reachable via `cmd/figures -fig 16`.
 //
 // Run with: go run ./examples/resource-sweep [-grid 8] [-area 48]
+// [-seeds 5] [-failure 0.05] [-cache-dir .qnet-cache]
 package main
 
 import (
@@ -27,20 +33,24 @@ import (
 
 	"repro/qnet"
 	"repro/qnet/simulate"
+	"repro/qnet/stats"
 )
 
 func main() {
 	gridN := flag.Int("grid", 8, "mesh edge length (paper: 16)")
 	area := flag.Int("area", 48, "per-tile resource budget t+g+p")
+	seeds := flag.Int("seeds", 5, "ensemble size (seeds per configuration)")
+	failure := flag.Float64("failure", 0.05, "purification failure-injection rate (0: deterministic)")
+	cacheDir := flag.String("cache-dir", "", "on-disk result cache directory (empty: in-memory)")
 	flag.Parse()
 
-	if err := run(*gridN, *area); err != nil {
+	if err := run(*gridN, *area, *seeds, *failure, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(gridN, area int) error {
+func run(gridN, area, seeds int, failure float64, cacheDir string) error {
 	grid, err := qnet.NewGrid(gridN, gridN)
 	if err != nil {
 		return err
@@ -53,16 +63,34 @@ func run(gridN, area int) error {
 	for _, a := range allocs {
 		resources = append(resources, simulate.AllocationResources(a))
 	}
+	if seeds < 1 {
+		seeds = 1
+	}
 	space := simulate.Space{
 		Grids:     []qnet.Grid{grid},
 		Layouts:   []simulate.Layout{simulate.HomeBase, simulate.MobileQubit},
 		Resources: resources,
 		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Seeds:     simulate.SeedRange(seeds),
+		Options:   []simulate.Option{simulate.WithFailureRate(failure)},
 	}
 
-	fmt.Printf("sweeping QFT-%d with area budget %d (%d configurations)...\n\n",
-		grid.Tiles(), area, space.Size())
+	// A cache makes the sweep incremental: in-memory it deduplicates
+	// identical runs within this process; disk-backed it persists them
+	// for the next invocation.
+	var cache *simulate.Cache
+	if cacheDir != "" {
+		if cache, err = simulate.NewDiskCache(cacheDir, 0); err != nil {
+			return err
+		}
+	} else {
+		cache = simulate.NewCache(0)
+	}
+
+	fmt.Printf("sweeping QFT-%d with area budget %d (%d configurations × %d seeds)...\n\n",
+		grid.Tiles(), area, space.Size()/seeds, seeds)
 	points, err := simulate.Sweep(context.Background(), space,
+		simulate.WithCache(cache),
 		simulate.WithProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs complete", done, total)
 			if done == total {
@@ -72,45 +100,58 @@ func run(gridN, area int) error {
 	if err != nil {
 		return err
 	}
-
-	// Decode the results by point metadata (layout × resources) rather
-	// than position, so extending the space cannot mis-pair the rows.
-	type runKey struct {
-		layout simulate.Layout
-		res    simulate.Resources
-	}
-	results := make(map[runKey]simulate.Result, len(points))
 	for _, pt := range points {
 		if pt.Err != nil {
 			return pt.Err
 		}
-		results[runKey{pt.Point.Layout, pt.Point.Resources}] = pt.Result
+	}
+
+	// Fold the seed dimension into one ensemble per configuration, then
+	// decode by point metadata (layout × resources) rather than
+	// position, so extending the space cannot mis-pair the rows.
+	type runKey struct {
+		layout simulate.Layout
+		res    simulate.Resources
+	}
+	groups := make(map[runKey]stats.PointEnsemble, 2*len(resources))
+	for _, g := range stats.Group(points) {
+		groups[runKey{g.Point.Layout, g.Point.Resources}] = g
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "Layout\tAllocation\tExec\tNormalized\tTeleporterUtil\tPurifierUtil")
+	fmt.Fprintln(w, "Layout\tAllocation\tMeanExec\tNormalized\t±CI95\tTeleporterUtil\tPurifierUtil")
 	for _, layout := range space.Layouts {
-		base, ok := results[runKey{layout, resources[0]}]
+		base, ok := groups[runKey{layout, resources[0]}]
 		if !ok {
 			return fmt.Errorf("%v baseline missing from sweep results", layout)
 		}
-		fmt.Fprintf(w, "%v\tt=g=p=1024 (baseline)\t%v\t%.3f\t%.3f\t%.3f\n",
-			layout, base.Exec, 1.0, base.TeleporterUtil, base.PurifierUtil)
+		fmt.Fprintf(w, "%v\tt=g=p=1024 (baseline)\t%v\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			layout, base.Ensemble.MeanExec(), 1.0, 0.0,
+			base.Ensemble.TeleporterUtil.Mean, base.Ensemble.PurifierUtil.Mean)
 		for _, a := range allocs {
-			res, ok := results[runKey{layout, simulate.AllocationResources(a)}]
+			g, ok := groups[runKey{layout, simulate.AllocationResources(a)}]
 			if !ok {
 				return fmt.Errorf("%v %v missing from sweep results", layout, a)
 			}
-			fmt.Fprintf(w, "%v\t%v\t%v\t%.3f\t%.3f\t%.3f\n",
-				layout, a, res.Exec,
-				float64(res.Exec)/float64(base.Exec),
-				res.TeleporterUtil, res.PurifierUtil)
+			// Normalize each seed's run against the same seed's baseline,
+			// then summarize, so the error bar reflects both spreads.
+			normalized := make([]float64, len(g.Results))
+			for i, r := range g.Results {
+				normalized[i] = float64(r.Exec) / float64(base.Results[i].Exec)
+			}
+			norm := stats.Describe(normalized)
+			fmt.Fprintf(w, "%v\t%v\t%v\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				layout, a, g.Ensemble.MeanExec(),
+				norm.Mean, norm.CI(0.95).Half(),
+				g.Ensemble.TeleporterUtil.Mean, g.Ensemble.PurifierUtil.Mean)
 		}
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
 
+	fmt.Println("\nsweep:", simulate.Summarize(points))
+	fmt.Println("cache:", cache.Stats())
 	fmt.Println("\nReading the sweep: Mobile degrades sharply once purifiers are")
 	fmt.Println("starved (t=g=8p); Home Base, already throttled by T' sharing,")
 	fmt.Println("tolerates the same cut far better — the paper's Figure 16 shape.")

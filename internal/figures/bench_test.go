@@ -1,20 +1,24 @@
 // Benchmarks regenerating every table and figure of the paper, plus
 // ablations of the design decisions called out in DESIGN.md.  Run with:
 //
-//	go test -bench=. -benchmem
+//	go test -bench=. -benchmem ./internal/figures/
 //
 // Each BenchmarkFigN measures the full recomputation of that figure's
 // data from the models; BenchmarkAblation* vary one design choice.
-package repro_test
+package figures_test
 
 import (
+	"strconv"
 	"testing"
 
-	repro "repro"
 	"repro/internal/epr"
+	"repro/internal/fidelity"
 	"repro/internal/figures"
+	"repro/internal/mesh"
+	"repro/internal/netsim"
 	"repro/internal/phys"
 	"repro/internal/purify"
+	"repro/internal/workload"
 )
 
 var base = phys.IonTrap2006()
@@ -96,9 +100,10 @@ func BenchmarkFig12ErrorSweep(b *testing.B) {
 
 func BenchmarkFig16ResourceSweep(b *testing.B) {
 	// The full-paper scale (16x16, QFT-256) takes minutes; the benchmark
-	// uses the quick 6x6 configuration.  cmd/figures -fig 16 -grid 16
-	// regenerates the full-scale figure.
-	cfg := figures.Fig16Config{GridSize: 6, Area: 48, Ratios: []int{1, 8}}
+	// uses the quick 6x6 configuration with a single seed, so it
+	// measures simulation rather than cache hits.  cmd/figures -fig 16
+	// -grid 16 regenerates the full-scale figure.
+	cfg := figures.Fig16Config{GridSize: 6, Area: 48, Ratios: []int{1, 8}, Seeds: []int64{1}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, err := figures.Fig16(cfg)
@@ -125,7 +130,7 @@ func BenchmarkAblationProtocol(b *testing.B) {
 	// DEJMPS vs BBPSSW as the system-wide purification protocol: the
 	// paper picks DEJMPS after Figure 8; this measures the cost of the
 	// choice on a 20-hop endpoint-purified channel.
-	for _, proto := range []repro.Protocol{purify.DEJMPS{Params: base}, purify.BBPSSW{Params: base}} {
+	for _, proto := range []purify.Protocol{purify.DEJMPS{Params: base}, purify.BBPSSW{Params: base}} {
 		proto := proto
 		b.Run(proto.Name(), func(b *testing.B) {
 			cfg := epr.DefaultConfig(base)
@@ -147,7 +152,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 	for depth := 1; depth <= 5; depth++ {
 		depth := depth
 		b.Run(benchName("depth", depth), func(b *testing.B) {
-			in := repro.Werner(0.995)
+			in := fidelity.Werner(0.995)
 			for i := 0; i < b.N; i++ {
 				q, err := purify.NewQueuePurifier(purify.DEJMPS{Params: base}, depth)
 				if err != nil {
@@ -187,17 +192,17 @@ func BenchmarkAblationHopLength(b *testing.B) {
 
 func BenchmarkAblationLayout(b *testing.B) {
 	// Home Base vs Mobile Qubit on QFT-36 with constrained resources.
-	grid, err := repro.NewGrid(6, 6)
+	grid, err := mesh.NewGrid(6, 6)
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog := repro.QFT(36)
-	for _, layout := range []repro.Layout{repro.HomeBase, repro.MobileQubit} {
+	prog := workload.QFT(36)
+	for _, layout := range []netsim.Layout{netsim.HomeBase, netsim.MobileQubit} {
 		layout := layout
 		b.Run(layout.String(), func(b *testing.B) {
-			cfg := repro.DefaultSimConfig(grid, layout, 16, 16, 8)
+			cfg := netsim.DefaultConfig(grid, layout, 16, 16, 8)
 			for i := 0; i < b.N; i++ {
-				res, err := repro.RunSimulation(cfg, prog)
+				res, err := netsim.Run(cfg, prog)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -212,17 +217,17 @@ func BenchmarkAblationLayout(b *testing.B) {
 func BenchmarkAblationStorage(b *testing.B) {
 	// Per-link storage (t cells per incoming link): simulator throughput
 	// with starved vs ample storage, isolated by fixing g and p high.
-	grid, err := repro.NewGrid(6, 6)
+	grid, err := mesh.NewGrid(6, 6)
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog := repro.QFT(36)
+	prog := workload.QFT(36)
 	for _, t := range []int{8, 32, 128} {
 		t := t
 		b.Run(benchName("t", t), func(b *testing.B) {
-			cfg := repro.DefaultSimConfig(grid, repro.HomeBase, t, 256, 256)
+			cfg := netsim.DefaultConfig(grid, netsim.HomeBase, t, 256, 256)
 			for i := 0; i < b.N; i++ {
-				res, err := repro.RunSimulation(cfg, prog)
+				res, err := netsim.Run(cfg, prog)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -235,19 +240,5 @@ func BenchmarkAblationStorage(b *testing.B) {
 }
 
 func benchName(prefix string, v int) string {
-	return prefix + "=" + itoa(v)
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return prefix + "=" + strconv.Itoa(v)
 }

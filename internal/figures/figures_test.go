@@ -164,11 +164,29 @@ func TestFig16SmallSweep(t *testing.T) {
 	if len(data.Rows) != 4 { // 2 layouts × 2 ratios
 		t.Fatalf("rows = %d, want 4", len(data.Rows))
 	}
+	if len(data.Seeds) != 5 {
+		t.Fatalf("seeds = %v, want the default five-seed ensemble", data.Seeds)
+	}
 	for _, r := range data.Rows {
 		if r.Normalized < 1 {
 			t.Errorf("%v %v normalized %.2f < 1: cannot beat unlimited resources",
 				r.Layout, r.Allocation, r.Normalized)
 		}
+		if r.Ensemble.N != 5 {
+			t.Errorf("%v %v: ensemble over %d seeds, want 5", r.Layout, r.Allocation, r.Ensemble.N)
+		}
+		// Deterministic (failure-free) configuration: the ensemble must
+		// collapse to zero spread.
+		if r.NormalizedCI.Half() != 0 {
+			t.Errorf("%v %v: nonzero CI %v without failure injection",
+				r.Layout, r.Allocation, r.NormalizedCI)
+		}
+	}
+	// With failure injection off, every seed beyond the first must be a
+	// cache hit: 2 layouts × 3 resource points × (5-1) seeds.
+	if data.Sweep.CacheHits != 2*3*4 {
+		t.Errorf("cache hits = %d, want %d (seed ensemble should collapse)",
+			data.Sweep.CacheHits, 2*3*4)
 	}
 	var b strings.Builder
 	if err := data.Table().WriteText(&b); err != nil {
@@ -228,12 +246,12 @@ func TestFig16RejectsTinyGrid(t *testing.T) {
 }
 
 func TestMEMMTable(t *testing.T) {
-	tab, err := MEMM(4, 16, 16, 8)
+	data, err := MEMM(DefaultMEMMConfig(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := tab.WriteText(&b); err != nil {
+	if err := data.Table.WriteText(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

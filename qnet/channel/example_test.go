@@ -1,0 +1,38 @@
+package channel_test
+
+import (
+	"fmt"
+
+	"repro/qnet"
+	"repro/qnet/channel"
+)
+
+// Example evaluates the paper's channel-setup model: EPR pairs
+// distributed over a 30-hop path with endpoint-only purification, the
+// policy the paper adopts after Figures 10-12.
+func Example() {
+	p := qnet.IonTrap2006()
+	cost := channel.DefaultDistribution(p).Evaluate(channel.EndpointsOnly, 30)
+	fmt.Printf("feasible=%v endpointRounds=%d pairsPerHop=%.0f\n",
+		cost.Feasible, cost.EndpointRounds, cost.TeleportedPairs/30)
+	// Output:
+	// feasible=true endpointRounds=3 pairsPerHop=8
+}
+
+// Example_compareMethodologies contrasts ballistic EPR distribution
+// with chained teleportation over the same physical distance — the
+// paper's Section 4.6 crossover argument for teleporter spacing.
+func Example_compareMethodologies() {
+	p := qnet.IonTrap2006()
+	c, err := channel.CompareMethodologies(p, 6000, 600)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ballistic %v vs teleport %v over 6000 cells\n",
+		c.BallisticLatency, c.TeleportLatency)
+	fmt.Printf("teleportation is %.1fx faster\n",
+		float64(c.BallisticLatency)/float64(c.TeleportLatency))
+	// Output:
+	// ballistic 1.2ms vs teleport 128µs over 6000 cells
+	// teleportation is 9.4x faster
+}

@@ -2,7 +2,7 @@
 // "Interconnection Networks for Scalable Quantum Computers" (Isailovic,
 // Patel, Whitney, Kubiatowicz — ISCA 2006, arXiv:quant-ph/0604048).
 //
-// The API is split across three packages:
+// The API is split across four packages:
 //
 //   - qnet (this package): the device model and the building blocks —
 //     ion-trap parameters (Tables 1-2), channel fidelity equations
@@ -17,8 +17,13 @@
 //     (latency, bandwidth, error rate, resources).
 //   - qnet/simulate: the event-driven mesh-interconnect simulator
 //     (Figs 15-16) behind a Machine/Session abstraction with
-//     functional options, context-aware runs, and a concurrent
-//     parameter-sweep engine.
+//     functional options, context-aware runs, a concurrent
+//     parameter-sweep engine, and a content-addressed result cache
+//     that makes repeated sweeps incremental.
+//   - qnet/stats: seed-ensemble statistics over simulation results —
+//     mean, standard deviation, extrema and confidence intervals per
+//     metric, with Group folding a sweep's seed dimension into
+//     per-configuration ensembles.
 //
 // Quickstart:
 //
@@ -29,8 +34,10 @@
 //		simulate.WithPurifyDepth(3))
 //	res, err := m.Run(ctx, qnet.QFT(grid.Tiles()))
 //
-// The legacy flat facade in the repository root (package repro) is
-// deprecated and now a thin shim over these packages.
+// See docs/ARCHITECTURE.md for the package-to-paper map and the
+// runnable Example functions in each package for working idioms.  The
+// legacy flat facade that once lived in the repository root (package
+// repro) was deprecated for one release and has been removed.
 package qnet
 
 import (

@@ -1,0 +1,316 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/qnet"
+)
+
+// goldenKeyConfig is the fixed configuration pinned by the golden-key
+// test below.
+func goldenKeyConfig(t testing.TB) (*Machine, qnet.Program) {
+	t.Helper()
+	grid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(grid, HomeBase,
+		WithResources(16, 16, 8),
+		WithPurifyDepth(3),
+		WithSeed(7),
+		WithFailureRate(0.125))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, qnet.QFT(16)
+}
+
+// goldenKey pins the canonical serialization: any change to the hash
+// format (field order, encoding, version string) must change keyVersion
+// and update this constant, because it invalidates every on-disk store.
+const goldenKey = "dadb9421c764d81c214b8a63170de0f1c448eb297ef2269c374096de26e60b56"
+
+// TestKeyGolden asserts the content hash of a fixed configuration is
+// stable across processes and runs — the property that makes the
+// on-disk store valid across invocations.
+func TestKeyGolden(t *testing.T) {
+	m, prog := goldenKeyConfig(t)
+	if got := m.CacheKey(prog).String(); got != goldenKey {
+		t.Errorf("golden key drifted:\n got  %s\n want %s\n"+
+			"(if the key format changed intentionally, bump keyVersion and update goldenKey)", got, goldenKey)
+	}
+}
+
+// TestKeyStableAcrossConstructions asserts the key is a pure function
+// of the resolved configuration: machines built with options in
+// different orders, or rebuilt from scratch, hash identically.  The
+// hash never iterates a Go map, so repeated in-process computation (one
+// map-ordering roll per run of this test) must agree too.
+func TestKeyStableAcrossConstructions(t *testing.T) {
+	grid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := qnet.QFT(16)
+	a, err := New(grid, HomeBase, WithResources(16, 16, 8), WithPurifyDepth(3), WithSeed(7), WithFailureRate(0.125))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(grid, HomeBase, WithFailureRate(0.125), WithSeed(7), WithPurifyDepth(3), WithResources(16, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheKey(prog) != b.CacheKey(prog) {
+		t.Error("option order leaked into the content hash")
+	}
+	for i := 0; i < 100; i++ {
+		if a.CacheKey(prog) != a.CacheKey(prog) {
+			t.Fatal("repeated key computation disagrees")
+		}
+	}
+}
+
+// TestKeySensitivity asserts every dimension of the run point is
+// covered by the hash, and that the seed is canonicalized away exactly
+// when failure injection is off.
+func TestKeySensitivity(t *testing.T) {
+	grid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := qnet.QFT(16)
+	build := func(opts ...Option) Key {
+		t.Helper()
+		m, err := New(grid, HomeBase, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.CacheKey(prog)
+	}
+	base := build(WithResources(16, 16, 8))
+	distinct := map[string]Key{
+		"resources":    build(WithResources(16, 16, 4)),
+		"depth":        build(WithResources(16, 16, 8), WithPurifyDepth(4)),
+		"code level":   build(WithResources(16, 16, 8), WithCodeLevel(1)),
+		"hop cells":    build(WithResources(16, 16, 8), WithHopCells(400)),
+		"turn cells":   build(WithResources(16, 16, 8), WithTurnCells(0)),
+		"failure rate": build(WithResources(16, 16, 8), WithFailureRate(0.5)),
+		"params":       build(WithResources(16, 16, 8), WithParams(qnet.IonTrap2006().Scale(10))),
+	}
+	for dim, k := range distinct {
+		if k == base {
+			t.Errorf("changing %s did not change the key", dim)
+		}
+	}
+	m, err := New(grid, HomeBase, WithResources(16, 16, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheKey(qnet.ModMult(8)) == base {
+		t.Error("changing the program did not change the key")
+	}
+
+	// Deterministic runs: the seed must canonicalize away.
+	if build(WithResources(16, 16, 8), WithSeed(1)) != build(WithResources(16, 16, 8), WithSeed(2)) {
+		t.Error("seed leaked into the key of a failure-free (deterministic) run")
+	}
+	// Stochastic runs: the seed must matter.
+	if build(WithResources(16, 16, 8), WithFailureRate(0.5), WithSeed(1)) ==
+		build(WithResources(16, 16, 8), WithFailureRate(0.5), WithSeed(2)) {
+		t.Error("seed ignored in the key of a stochastic run")
+	}
+}
+
+// TestSweepSecondRunFullyCached asserts the headline cache property: a
+// second identical sweep against the same on-disk store performs zero
+// simulations (100% hits) and returns byte-identical results.
+func TestSweepSecondRunFullyCached(t *testing.T) {
+	dir := t.TempDir()
+	space := test2x2x2Space(t)
+	ctx := context.Background()
+
+	run := func() ([]SweepPoint, Summary) {
+		t.Helper()
+		// A fresh Cache per run, so hits can only come from the disk
+		// store — the cross-process path.
+		cache, err := NewDiskCache(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points, err := Sweep(ctx, space, WithCache(cache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points, Summarize(points)
+	}
+
+	cold, coldSummary := run()
+	if coldSummary.CacheHits != 0 {
+		t.Fatalf("cold run reported %d cache hits", coldSummary.CacheHits)
+	}
+	warm, warmSummary := run()
+	if warmSummary.CacheHits != warmSummary.Points {
+		t.Fatalf("warm run: %v, want 100%% cache hits", warmSummary)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("point counts differ: %d vs %d", len(warm), len(cold))
+	}
+	for i := range cold {
+		if warm[i].Result != cold[i].Result {
+			t.Errorf("point %d differs between cold and warm run:\n cold %+v\n warm %+v",
+				i, cold[i].Result, warm[i].Result)
+		}
+		// Byte-identical through the JSON store and back.
+		coldJSON, err := json.Marshal(cold[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmJSON, err := json.Marshal(warm[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(coldJSON) != string(warmJSON) {
+			t.Errorf("point %d JSON differs:\n cold %s\n warm %s", i, coldJSON, warmJSON)
+		}
+	}
+}
+
+// TestSweepCollapsedEnsembleCounters asserts the single-flight path:
+// a multi-seed ensemble of a deterministic (failure-free) point shares
+// one content key, so however the workers interleave, exactly one run
+// simulates and the counters are a pure function of the space.
+func TestSweepCollapsedEnsembleCounters(t *testing.T) {
+	grid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []Layout{HomeBase},
+		Resources: []Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Seeds:     []int64{1, 2, 3, 4},
+	}
+	for trial := 0; trial < 5; trial++ {
+		cache := NewCache(0)
+		points, err := Sweep(context.Background(), space, WithCache(cache), WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := Summarize(points); s.CacheHits != 3 {
+			t.Fatalf("trial %d: %v, want exactly 3 hits (4 seeds, 1 unique key)", trial, s)
+		}
+		if s := cache.Stats(); s.Hits != 3 || s.Misses != 1 {
+			t.Fatalf("trial %d: cache counters %v, want 3 hits / 1 miss", trial, s)
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].Result != points[0].Result {
+				t.Fatalf("trial %d: collapsed seeds disagree", trial)
+			}
+		}
+	}
+}
+
+// TestWithCacheDirOption asserts the convenience option builds the disk
+// store and serves the second sweep from it.
+func TestWithCacheDirOption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "cache")
+	space := test2x2x2Space(t)
+	ctx := context.Background()
+	if _, err := Sweep(ctx, space, WithCacheDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated: %v (entries %d)", err, len(entries))
+	}
+	points, err := Sweep(ctx, space, WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Summarize(points); s.CacheHits != s.Points {
+		t.Errorf("second WithCacheDir sweep: %v, want all hits", s)
+	}
+}
+
+// TestCacheLRUEviction asserts the in-memory store honors its capacity
+// bound, evicting least-recently-used entries first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	k := func(b byte) Key { var k Key; k[0] = b; return k }
+	c.Put(k(1), Result{Ops: 1})
+	c.Put(k(2), Result{Ops: 2})
+	if _, ok := c.Get(k(1)); !ok { // touch 1: now 2 is LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(k(3), Result{Ops: 3}) // evicts 2
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("LRU entry 2 not evicted")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 2 hits, 1 miss", s)
+	}
+}
+
+// TestCacheCorruptDiskEntry asserts an unreadable stored result is a
+// miss, not an error.
+func TestCacheCorruptDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	k[0] = 9
+	c.Put(k, Result{Ops: 42})
+	if err := os.WriteFile(filepath.Join(dir, k.String()+".json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh cache, so the lookup must go to disk.
+	c2, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(k); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+}
+
+// TestCacheRoundTripExact asserts a Result survives the JSON store
+// bit-exactly, floats included.
+func TestCacheRoundTripExact(t *testing.T) {
+	m, prog := goldenKeyConfig(t)
+	res, err := m.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := m.CacheKey(prog)
+	c.Put(key, res)
+	c2, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("stored result missing from disk store")
+	}
+	if got != res {
+		t.Errorf("disk round trip not exact:\n put %+v\n got %+v", res, got)
+	}
+}

@@ -21,6 +21,14 @@
 // depths × seeds) and fans the runs out across worker goroutines — see
 // sweep.go.
 //
+// Because every run is a pure function of its resolved configuration,
+// results are content-addressable: Machine.CacheKey hashes the full
+// run point and Cache stores Results under it (in-memory LRU plus an
+// optional on-disk JSON store), so a sweep installed with WithCache or
+// WithCacheDir only simulates points it has never seen — see cache.go
+// and the Example_cachedSweep function.  Ensemble statistics over the
+// seed dimension live in the sibling package qnet/stats.
+//
 // Configuration mistakes surface as *qnet.ConfigError and capacity
 // overruns as *qnet.CapacityError, matchable with errors.Is/errors.As.
 package simulate

@@ -2,6 +2,7 @@ package simulate
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -15,6 +16,57 @@ import (
 // generators and p queue purifiers.
 type Resources struct {
 	Teleporters, Generators, Purifiers int
+}
+
+// SeedRange returns the canonical n-seed ensemble {1, 2, ..., n} used
+// throughout this repository for Space.Seeds (never less than one
+// seed).  Centralizing it keeps commands, examples and figures on the
+// same ensemble, so their cached results share content keys.
+func SeedRange(n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// flightGroup tracks content keys currently being simulated, so
+// duplicate in-flight points can wait for the first run instead of
+// repeating it.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[Key]chan struct{}
+}
+
+// newFlightGroup returns an empty flight group.
+func newFlightGroup() *flightGroup {
+	return &flightGroup{inflight: make(map[Key]chan struct{})}
+}
+
+// claim registers the key as in flight.  It returns (nil, true) when
+// the caller now owns the flight and must release it, or (wait, false)
+// when another goroutine owns it; wait closes on release.
+func (f *flightGroup) claim(k Key) (<-chan struct{}, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.inflight[k]; ok {
+		return ch, false
+	}
+	f.inflight[k] = make(chan struct{})
+	return nil, true
+}
+
+// release ends the caller's flight, waking every waiter.
+func (f *flightGroup) release(k Key) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.inflight[k]; ok {
+		close(ch)
+		delete(f.inflight, k)
+	}
 }
 
 // Allocation is one point of the paper's Figure 16 resource sweep:
@@ -76,10 +128,55 @@ type Point struct {
 
 // SweepPoint is one finished run of a sweep: the point, its result, and
 // the error if the run failed (a failed point does not abort the sweep).
+// Cached reports that the result was served from the sweep's Cache
+// instead of being simulated.
 type SweepPoint struct {
 	Point  Point
 	Result Result
 	Err    error
+	Cached bool
+}
+
+// Summary aggregates a finished sweep: point counts, cache traffic and
+// failures.  It is computed from the returned points by Summarize, so
+// it works for Sweep and for a drained Stream alike.
+type Summary struct {
+	// Points is the number of finished points summarized.
+	Points int
+	// CacheHits is how many of them were served from the cache.
+	CacheHits int
+	// Failed is how many ended with a non-nil Err.
+	Failed int
+}
+
+// HitRate returns CacheHits / Points, or 0 for an empty sweep.
+func (s Summary) HitRate() float64 {
+	if s.Points == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Points)
+}
+
+// String renders the summary compactly ("20 points, 15 cached (75.0%),
+// 0 failed").
+func (s Summary) String() string {
+	return fmt.Sprintf("%d points, %d cached (%.1f%%), %d failed",
+		s.Points, s.CacheHits, 100*s.HitRate(), s.Failed)
+}
+
+// Summarize tallies a sweep's finished points into a Summary.
+func Summarize(points []SweepPoint) Summary {
+	var s Summary
+	for _, pt := range points {
+		s.Points++
+		if pt.Cached {
+			s.CacheHits++
+		}
+		if pt.Err != nil {
+			s.Failed++
+		}
+	}
+	return s
 }
 
 // points expands the space in deterministic order.
@@ -148,6 +245,8 @@ type SweepOption func(*sweepConfig)
 type sweepConfig struct {
 	workers  int
 	progress func(done, total int)
+	cache    *Cache
+	cacheDir string
 }
 
 // WithWorkers sets the worker-goroutine count.  Values below 1 (and the
@@ -162,6 +261,24 @@ func WithWorkers(n int) SweepOption {
 // it (the drained channel is the progress signal).
 func WithProgress(fn func(done, total int)) SweepOption {
 	return func(c *sweepConfig) { c.progress = fn }
+}
+
+// WithCache installs a result cache: every point's content hash
+// (Machine.CacheKey) is looked up before simulating, successful runs
+// are stored back, and served points are marked SweepPoint.Cached.  The
+// same cache can be shared across sweeps — and, when built with
+// NewDiskCache, across processes — so regenerating a figure after
+// changing one dimension of its space only simulates the new points.
+func WithCache(c *Cache) SweepOption {
+	return func(cfg *sweepConfig) { cfg.cache = c }
+}
+
+// WithCacheDir is WithCache with a throwaway disk-backed cache rooted
+// at dir (capacity DefaultCacheEntries).  Use NewDiskCache plus
+// WithCache instead when the hit/miss counters are wanted afterwards;
+// Summarize recovers per-sweep hit counts either way.
+func WithCacheDir(dir string) SweepOption {
+	return func(cfg *sweepConfig) { cfg.cacheDir = dir }
 }
 
 // Sweep expands the space and runs every point, fanning the runs out
@@ -218,6 +335,13 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 	if err != nil {
 		return nil, 0, err
 	}
+	if cfg.cache == nil && cfg.cacheDir != "" {
+		c, err := NewDiskCache(cfg.cacheDir, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.cache = c
+	}
 	// Validate every point's machine up front so configuration errors
 	// surface before any simulation work is spent.
 	machines := make([]*Machine, len(pts))
@@ -236,6 +360,16 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 	jobs := make(chan int)
 	results := make(chan SweepPoint, workers)
 
+	// Single-flight dedup for cached sweeps: when several in-flight
+	// points share a content key (e.g. a multi-seed ensemble of a
+	// deterministic configuration, whose keys canonicalize the seed
+	// away), only the first simulates; the rest wait and take the
+	// cached result.  This makes hit counts a pure function of the
+	// space — independent of worker count and scheduling — and keeps
+	// the documented "one simulation plus cache hits" collapse true on
+	// multi-core hosts.
+	flights := newFlightGroup()
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -249,9 +383,42 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 				if ctx.Err() != nil {
 					return
 				}
-				res, err := machines[i].Run(ctx, pts[i].Program)
+				var (
+					res    Result
+					err    error
+					cached bool
+				)
+				if cfg.cache == nil {
+					res, err = machines[i].Run(ctx, pts[i].Program)
+				} else {
+					// Claim-first: every point takes the flight for its
+					// key before the (single, counted) cache lookup, so a
+					// duplicate can never slip between another worker's
+					// Put and release and re-simulate — and the hit/miss
+					// counters stay a pure function of the space: one
+					// miss per unique key, one hit per duplicate point.
+					key := machines[i].CacheKey(pts[i].Program)
+					claimed := false
+					for !claimed {
+						var wait <-chan struct{}
+						if wait, claimed = flights.claim(key); !claimed {
+							select {
+							case <-wait:
+							case <-ctx.Done():
+								return
+							}
+						}
+					}
+					if res, cached = cfg.cache.Get(key); !cached {
+						res, err = machines[i].Run(ctx, pts[i].Program)
+						if err == nil {
+							cfg.cache.Put(key, res)
+						}
+					}
+					flights.release(key)
+				}
 				select {
-				case results <- SweepPoint{Point: pts[i], Result: res, Err: err}:
+				case results <- SweepPoint{Point: pts[i], Result: res, Err: err, Cached: cached}:
 				case <-ctx.Done():
 					return
 				}

@@ -1,0 +1,50 @@
+package stats_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/qnet"
+	"repro/qnet/simulate"
+	"repro/qnet/stats"
+)
+
+// Example summarizes a raw sample set: the five-number description
+// plus normal and bootstrap confidence intervals for the mean.
+func Example() {
+	s := stats.Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("n=%d mean=%.2f std=%.2f range=[%g, %g]\n", s.N, s.Mean, s.Std, s.Min, s.Max)
+	ci := s.CI(0.95)
+	fmt.Printf("95%% CI: %.2f ± %.2f\n", s.Mean, ci.Half())
+	// Output:
+	// n=8 mean=5.00 std=2.14 range=[2, 9]
+	// 95% CI: 5.00 ± 1.48
+}
+
+// Example_group sweeps one configuration over a seed ensemble with
+// stochastic failure injection and folds the seeds into a per-point
+// ensemble — the mean ± CI workflow behind the Figure 16 error bars.
+func Example_group() {
+	grid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := simulate.Sweep(context.Background(), simulate.Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []simulate.Layout{simulate.HomeBase},
+		Resources: []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Seeds:     []int64{1, 2, 3, 4, 5},
+		Options:   []simulate.Option{simulate.WithFailureRate(0.1)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range stats.Group(points) {
+		fmt.Printf("%v: %d seeds, spread %v\n",
+			g.Point.Layout, g.Ensemble.N, g.Ensemble.Exec.Std > 0)
+	}
+	// Output:
+	// HomeBase: 5 seeds, spread true
+}

@@ -1,0 +1,302 @@
+// Package stats turns raw simulation results into ensemble statistics:
+// per-metric mean, standard deviation, extrema and confidence
+// intervals over a set of runs that differ only in their RNG seed.
+//
+// The paper's evaluation reports single numbers per configuration; with
+// stochastic failure injection (simulate.WithFailureRate) every
+// configuration becomes a distribution, and a point estimate without a
+// spread is not reproducible science.  This package computes the spread:
+//
+//	points, _ := simulate.Sweep(ctx, space)       // space.Seeds = {1..10}
+//	for _, e := range stats.Group(points) {
+//	    fmt.Println(e.Point, e.Exec.Mean, e.Exec.CI(0.95))
+//	}
+//
+// Group folds a sweep's points into one Ensemble per configuration
+// (identical up to seed), preserving expansion order; FromResults and
+// Describe build the same aggregates from hand-collected runs or raw
+// samples.  Confidence intervals come in two flavours: Summary.CI is
+// the normal (Student-free, z-score) interval, and Summary.BootstrapCI
+// is a deterministic percentile bootstrap for the small, possibly
+// skewed samples a seed ensemble typically is.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/qnet/simulate"
+)
+
+// Summary is the five-number description of one metric over an
+// ensemble of runs: sample count, mean, sample standard deviation
+// (Bessel-corrected) and extrema.
+type Summary struct {
+	// N is the sample count.
+	N int
+	// Mean is the arithmetic mean of the samples.
+	Mean float64
+	// Std is the sample standard deviation (0 for N < 2).
+	Std float64
+	// Min is the smallest sample (0 for an empty summary).
+	Min float64
+	// Max is the largest sample (0 for an empty summary).
+	Max float64
+
+	samples []float64
+}
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	// Lo and Hi bound the interval.
+	Lo, Hi float64
+	// Level is the confidence level the interval was built for, e.g.
+	// 0.95.
+	Level float64
+}
+
+// Half returns the interval's half-width around its midpoint — the
+// "±" number printed after a mean.
+func (iv Interval) Half() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// String renders the interval as "[lo, hi]".
+func (iv Interval) String() string { return fmt.Sprintf("[%.6g, %.6g]", iv.Lo, iv.Hi) }
+
+// Describe summarizes a raw sample set.  The samples are copied, so the
+// caller's slice stays untouched and the Summary stays usable for
+// bootstrap resampling afterwards.
+func Describe(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	s.samples = append([]float64(nil), samples...)
+	s.Min, s.Max = s.samples[0], s.samples[0]
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.Min == s.Max {
+		// Identical samples: report the sample itself, not sum/n, which
+		// can differ in the last bit and fake a nonzero spread.
+		s.Mean = s.Min
+		return s
+	}
+	if s.N > 1 {
+		var ss float64
+		for _, v := range s.samples {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// zScore returns the two-sided standard-normal quantile for the given
+// confidence level, by bisection on the error function (no tables, no
+// external dependencies; accurate to ~1e-12).
+func zScore(level float64) float64 {
+	if level <= 0 {
+		return 0
+	}
+	if level >= 1 {
+		return math.Inf(1)
+	}
+	// Find z with erf(z/sqrt2) = level.
+	lo, hi := 0.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if math.Erf(mid/math.Sqrt2) < level {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CI returns the normal-approximation confidence interval for the mean
+// at the given level (e.g. 0.95): mean ± z·std/√n.  For N < 2 the
+// interval collapses to the mean.
+func (s Summary) CI(level float64) Interval {
+	iv := Interval{Lo: s.Mean, Hi: s.Mean, Level: level}
+	if s.N < 2 || s.Std == 0 {
+		return iv
+	}
+	h := zScore(level) * s.Std / math.Sqrt(float64(s.N))
+	iv.Lo, iv.Hi = s.Mean-h, s.Mean+h
+	return iv
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for
+// the mean: resamples resampled means of the original samples, sorted,
+// clipped at the (1±level)/2 percentiles.  The resampling RNG is seeded
+// deterministically from the inputs, so equal ensembles always produce
+// equal intervals.  For N < 2 the interval collapses to the mean.
+func (s Summary) BootstrapCI(level float64, resamples int) Interval {
+	iv := Interval{Lo: s.Mean, Hi: s.Mean, Level: level}
+	// len(s.samples) guards a Summary built by struct literal rather
+	// than Describe: no samples to resample, so collapse like CI does.
+	if s.N < 2 || resamples < 1 || len(s.samples) < 2 {
+		return iv
+	}
+	rng := rand.New(rand.NewSource(int64(s.N)*1_000_003 + int64(resamples)))
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for i := 0; i < s.N; i++ {
+			sum += s.samples[rng.Intn(s.N)]
+		}
+		means[r] = sum / float64(s.N)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	at := func(q float64) float64 {
+		i := int(q * float64(resamples-1))
+		return means[i]
+	}
+	iv.Lo, iv.Hi = at(alpha), at(1-alpha)
+	return iv
+}
+
+// Samples returns a copy of the summarized samples, in input order.
+func (s Summary) Samples() []float64 { return append([]float64(nil), s.samples...) }
+
+// Ensemble aggregates every reported metric of a set of simulation
+// runs that share a configuration: the latency, EPR-consumption and
+// utilization columns of the paper's evaluation, each as a Summary
+// over the ensemble.
+type Ensemble struct {
+	// N is the number of runs aggregated.
+	N int
+	// Exec summarizes total execution time, in seconds.
+	Exec Summary
+	// ChannelLatency summarizes the per-run mean channel setup-to-data
+	// latency, in seconds.
+	ChannelLatency Summary
+	// PairsDelivered summarizes EPR pairs delivered to endpoints.
+	PairsDelivered Summary
+	// PairHops summarizes total pair-teleportations (the network strain
+	// metric of Figure 11).
+	PairHops Summary
+	// FailedBatches summarizes purification batches lost to injected
+	// failure.
+	FailedBatches Summary
+	// TeleporterUtil, GeneratorUtil and PurifierUtil summarize mean
+	// resource utilizations.
+	TeleporterUtil Summary
+	GeneratorUtil  Summary
+	PurifierUtil   Summary
+}
+
+// seconds converts a duration sample to float64 seconds.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// FromResults aggregates an ensemble from raw results (typically a
+// Session's Results() or one configuration's runs collected by hand).
+func FromResults(results []simulate.Result) Ensemble {
+	pick := func(f func(simulate.Result) float64) Summary {
+		vals := make([]float64, len(results))
+		for i, r := range results {
+			vals[i] = f(r)
+		}
+		return Describe(vals)
+	}
+	return Ensemble{
+		N:              len(results),
+		Exec:           pick(func(r simulate.Result) float64 { return seconds(r.Exec) }),
+		ChannelLatency: pick(func(r simulate.Result) float64 { return seconds(r.MeanChannelLatency) }),
+		PairsDelivered: pick(func(r simulate.Result) float64 { return float64(r.PairsDelivered) }),
+		PairHops:       pick(func(r simulate.Result) float64 { return float64(r.PairHops) }),
+		FailedBatches:  pick(func(r simulate.Result) float64 { return float64(r.FailedBatches) }),
+		TeleporterUtil: pick(func(r simulate.Result) float64 { return r.TeleporterUtil }),
+		GeneratorUtil:  pick(func(r simulate.Result) float64 { return r.GeneratorUtil }),
+		PurifierUtil:   pick(func(r simulate.Result) float64 { return r.PurifierUtil }),
+	}
+}
+
+// MeanExec returns the ensemble's mean execution time as a Duration.
+func (e Ensemble) MeanExec() time.Duration {
+	return time.Duration(e.Exec.Mean * float64(time.Second))
+}
+
+// PointEnsemble is one configuration of a swept space with its runs
+// aggregated over the seed dimension.
+type PointEnsemble struct {
+	// Point identifies the configuration; its Seed field carries the
+	// first seed of the ensemble and its Index the first expansion
+	// index, so ensembles sort in expansion order.
+	Point simulate.Point
+	// Seeds are the seeds aggregated, in expansion order.
+	Seeds []int64
+	// Ensemble is the metric aggregate over those runs.
+	Ensemble Ensemble
+	// Results are the underlying per-seed results, in seed order.
+	Results []simulate.Result
+	// Cached is how many of the runs were served from the sweep cache.
+	Cached int
+}
+
+// groupKey identifies a configuration modulo seed.
+type groupKey struct {
+	grid      [2]int
+	layout    simulate.Layout
+	resources simulate.Resources
+	program   string
+	qubits    int
+	depth     int
+}
+
+// Group folds a sweep's finished points into one PointEnsemble per
+// configuration, aggregating over the seed dimension and preserving
+// the space's expansion order.  Points that failed (non-nil Err) are
+// skipped, so a partially failed sweep still yields ensembles for the
+// configurations that completed; compare PointEnsemble.Ensemble.N
+// against the space's seed count to detect gaps.  Programs are
+// distinguished by name and qubit count, which is exact for the
+// built-in QFT/MM/ME generators; give hand-built program variants
+// distinct names.
+func Group(points []simulate.SweepPoint) []PointEnsemble {
+	byKey := make(map[groupKey]*PointEnsemble)
+	var order []groupKey
+	collected := make(map[groupKey][]simulate.Result)
+	for _, sp := range points {
+		if sp.Err != nil {
+			continue
+		}
+		k := groupKey{
+			grid:      [2]int{sp.Point.Grid.Width, sp.Point.Grid.Height},
+			layout:    sp.Point.Layout,
+			resources: sp.Point.Resources,
+			program:   sp.Point.Program.Name,
+			qubits:    sp.Point.Program.Qubits,
+			depth:     sp.Point.Depth,
+		}
+		pe, ok := byKey[k]
+		if !ok {
+			pe = &PointEnsemble{Point: sp.Point}
+			byKey[k] = pe
+			order = append(order, k)
+		}
+		pe.Seeds = append(pe.Seeds, sp.Point.Seed)
+		if sp.Cached {
+			pe.Cached++
+		}
+		collected[k] = append(collected[k], sp.Result)
+	}
+	out := make([]PointEnsemble, 0, len(order))
+	for _, k := range order {
+		pe := byKey[k]
+		pe.Results = collected[k]
+		pe.Ensemble = FromResults(pe.Results)
+		out = append(out, *pe)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/simulate"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d, want 8", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Errorf("mean = %g, want 5", s.Mean)
+	}
+	// Sample (n-1) stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almost(s.Std, want, 1e-12) {
+		t.Errorf("std = %g, want %g", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+}
+
+func TestDescribeEmptyAndSingle(t *testing.T) {
+	if s := Describe(nil); s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Describe([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	iv := s.CI(0.95)
+	if iv.Lo != 3.5 || iv.Hi != 3.5 {
+		t.Errorf("singleton CI = %v, want collapsed", iv)
+	}
+}
+
+func TestZScore(t *testing.T) {
+	for _, tc := range []struct{ level, want float64 }{
+		{0.6827, 1.0},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+	} {
+		if got := zScore(tc.level); !almost(got, tc.want, 5e-4) {
+			t.Errorf("zScore(%g) = %g, want %g", tc.level, got, tc.want)
+		}
+	}
+}
+
+func TestNormalCI(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	iv := s.CI(0.95)
+	h := 1.95996 * s.Std / math.Sqrt(8)
+	if !almost(iv.Lo, s.Mean-h, 1e-4) || !almost(iv.Hi, s.Mean+h, 1e-4) {
+		t.Errorf("CI = %v, want mean ± %g", iv, h)
+	}
+	if !almost(iv.Half(), h, 1e-4) {
+		t.Errorf("half-width = %g, want %g", iv.Half(), h)
+	}
+}
+
+func TestBootstrapCIDeterministicAndSane(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Describe(samples)
+	a := s.BootstrapCI(0.95, 2000)
+	b := Describe(samples).BootstrapCI(0.95, 2000)
+	if a != b {
+		t.Errorf("bootstrap CI not deterministic: %v vs %v", a, b)
+	}
+	if a.Lo > s.Mean || a.Hi < s.Mean {
+		t.Errorf("bootstrap CI %v excludes the mean %g", a, s.Mean)
+	}
+	if a.Lo < s.Min || a.Hi > s.Max {
+		t.Errorf("bootstrap CI %v outside sample range [%g, %g]", a, s.Min, s.Max)
+	}
+}
+
+func TestBootstrapCIOnLiteralSummary(t *testing.T) {
+	// A Summary built by struct literal has no samples to resample; the
+	// interval must collapse like CI's, not panic.
+	s := Summary{N: 3, Mean: 1.5}
+	if iv := s.BootstrapCI(0.95, 100); iv.Lo != 1.5 || iv.Hi != 1.5 {
+		t.Errorf("literal-summary bootstrap CI = %v, want collapsed to the mean", iv)
+	}
+}
+
+func TestFromResults(t *testing.T) {
+	results := []simulate.Result{
+		{Exec: 2 * time.Second, PairsDelivered: 100, TeleporterUtil: 0.5},
+		{Exec: 4 * time.Second, PairsDelivered: 300, TeleporterUtil: 0.7},
+	}
+	e := FromResults(results)
+	if e.N != 2 {
+		t.Fatalf("N = %d, want 2", e.N)
+	}
+	if !almost(e.Exec.Mean, 3, 1e-12) {
+		t.Errorf("exec mean = %g s, want 3", e.Exec.Mean)
+	}
+	if e.MeanExec() != 3*time.Second {
+		t.Errorf("MeanExec = %v, want 3s", e.MeanExec())
+	}
+	if !almost(e.PairsDelivered.Mean, 200, 1e-12) {
+		t.Errorf("pairs mean = %g, want 200", e.PairsDelivered.Mean)
+	}
+	if !almost(e.TeleporterUtil.Mean, 0.6, 1e-12) {
+		t.Errorf("teleporter util mean = %g, want 0.6", e.TeleporterUtil.Mean)
+	}
+}
+
+// TestGroupFoldsSeeds runs a small stochastic sweep over several seeds
+// and asserts Group folds the seed dimension away, preserving expansion
+// order and recording every seed.
+func TestGroupFoldsSeeds(t *testing.T) {
+	grid, err := qnet.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := simulate.Space{
+		Grids:   []qnet.Grid{grid},
+		Layouts: []simulate.Layout{simulate.HomeBase, simulate.MobileQubit},
+		Resources: []simulate.Resources{
+			{Teleporters: 16, Generators: 16, Purifiers: 8},
+		},
+		Programs: []qnet.Program{qnet.QFT(grid.Tiles())},
+		Seeds:    []int64{1, 2, 3},
+		Options:  []simulate.Option{simulate.WithFailureRate(0.2)},
+	}
+	points, err := simulate.Sweep(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Group(points)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (one per layout)", len(groups))
+	}
+	if groups[0].Point.Layout != simulate.HomeBase || groups[1].Point.Layout != simulate.MobileQubit {
+		t.Errorf("groups out of expansion order: %v then %v",
+			groups[0].Point.Layout, groups[1].Point.Layout)
+	}
+	for _, g := range groups {
+		if g.Ensemble.N != 3 || len(g.Seeds) != 3 || len(g.Results) != 3 {
+			t.Errorf("%v: ensemble over %d runs (%d seeds), want 3", g.Point.Layout, g.Ensemble.N, len(g.Seeds))
+		}
+		if g.Seeds[0] != 1 || g.Seeds[1] != 2 || g.Seeds[2] != 3 {
+			t.Errorf("%v: seeds = %v, want [1 2 3]", g.Point.Layout, g.Seeds)
+		}
+		if g.Ensemble.Exec.Mean <= 0 {
+			t.Errorf("%v: non-positive mean exec", g.Point.Layout)
+		}
+		// With a 20% failure rate the three seeds should not all agree.
+		if g.Ensemble.Exec.Std == 0 && g.Ensemble.FailedBatches.Std == 0 {
+			t.Errorf("%v: zero spread across seeds under failure injection", g.Point.Layout)
+		}
+	}
+}
+
+// TestGroupSkipsFailures feeds Group a hand-built point list with one
+// failed run and asserts the failure is excluded from the ensemble.
+func TestGroupSkipsFailures(t *testing.T) {
+	grid, _ := qnet.NewGrid(2, 2)
+	pt := func(seed int64, err error) simulate.SweepPoint {
+		return simulate.SweepPoint{
+			Point: simulate.Point{
+				Grid:      grid,
+				Layout:    simulate.HomeBase,
+				Resources: simulate.Resources{Teleporters: 1, Generators: 1, Purifiers: 1},
+				Program:   qnet.QFT(4),
+				Depth:     3,
+				Seed:      seed,
+			},
+			Result: simulate.Result{Exec: time.Second},
+			Err:    err,
+		}
+	}
+	groups := Group([]simulate.SweepPoint{pt(1, nil), pt(2, context.Canceled), pt(3, nil)})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if groups[0].Ensemble.N != 2 {
+		t.Errorf("ensemble N = %d, want 2 (failed seed skipped)", groups[0].Ensemble.N)
+	}
+}

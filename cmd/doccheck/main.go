@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	doccheck ./qnet ./qnet/channel ./qnet/simulate ./qnet/stats
+//	doccheck ./qnet ./qnet/channel ./qnet/route ./qnet/simulate ./qnet/stats
 //
 // Each argument is a directory containing one package; _test.go files
 // are skipped.  Exit status is 1 if any exported identifier is bare,

@@ -18,7 +18,10 @@
 //	figures -fig 16 -seeds 10 -failure 0.05  # stochastic ensemble, real error bars
 //	figures -fig 10 -format csv         # machine-readable output
 //
-// Figures: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, all.
+// Figures: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm,
+// routing, all.  The routing table crosses the Figure 16 layouts with
+// every routing policy (qnet/route) and Welch-tests each policy's
+// execution ensemble against the dimension-order baseline.
 package main
 
 import (
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, all")
+		fig      = flag.String("fig", "all", "which figure to regenerate: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, routing, all")
 		format   = flag.String("format", "text", "output format: text or csv")
 		grid     = flag.Int("grid", 8, "mesh edge length for figure 16 (paper: 16)")
 		area     = flag.Int("area", 48, "per-tile resource budget t+g+p for figure 16")
@@ -210,8 +213,23 @@ func run(w io.Writer, o options) error {
 		}
 		fmt.Fprintln(os.Stderr, "figures: memm sweep:", data.Sweep)
 	}
+	if has("routing") {
+		matched = true
+		cfg := figures.DefaultRoutingConfig(o.grid)
+		cfg.Seeds = o.seedList()
+		cfg.FailureRate = o.failure
+		cfg.Cache = cache
+		data, err := figures.Routing(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(data.Table(), nil); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "figures: routing sweep:", data.Sweep)
+	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want table1, table2, claims, 8, 9, 10, 11, 12, 16, memm or all)", o.fig)
+		return fmt.Errorf("unknown figure %q (want table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, routing or all)", o.fig)
 	}
 	if s := cache.Stats(); s.Hits+s.Misses > 0 {
 		fmt.Fprintln(os.Stderr, "figures: result cache:", s)

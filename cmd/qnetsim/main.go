@@ -8,6 +8,8 @@
 //	qnetsim -workload mm -grid 16 -layout home -t 24 -g 24 -p 6
 //	qnetsim -program kernel.q -grid 8 -heatmap      # custom program file
 //	qnetsim -grid 12 -timeout 30s                   # bounded run
+//	qnetsim -route zigzag                           # routing policy (xy, yx, zigzag, least-congested)
+//	qnetsim -cache-dir .qnet                        # warm re-runs hit the result cache
 //
 // Program files use the instruction-stream format of qnet.ParseProgram:
 //
@@ -21,9 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/qnet"
+	"repro/qnet/route"
 	"repro/qnet/simulate"
 )
 
@@ -39,17 +43,20 @@ func main() {
 		depth   = flag.Int("depth", 3, "queue purifier depth")
 		level   = flag.Int("level", 2, "Steane code concatenation level")
 		hopCell = flag.Int("hopcells", 600, "cells per mesh hop")
+		routeFl = flag.String("route", "xy", "routing policy: "+strings.Join(route.Names(), ", "))
 		failure = flag.Float64("failure", 0, "injected purification failure probability per batch")
 		seed    = flag.Int64("seed", 0, "failure-injection RNG seed")
 		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
 		heatmap = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
+		cache   = flag.String("cache-dir", "", "directory for the on-disk result cache (warm runs are served from it)")
 	)
 	flag.Parse()
 
 	if err := run(opts{
 		workload: *wl, program: *program, gridN: *gridN, layout: *layout,
 		t: *t, g: *g, p: *p, depth: *depth, level: *level, hopCells: *hopCell,
-		failure: *failure, seed: *seed, timeout: *timeout, heatmap: *heatmap,
+		route: *routeFl, failure: *failure, seed: *seed, timeout: *timeout,
+		heatmap: *heatmap, cacheDir: *cache,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qnetsim:", err)
 		os.Exit(1)
@@ -60,10 +67,12 @@ type opts struct {
 	workload, program, layout    string
 	gridN, t, g, p, depth, level int
 	hopCells                     int
+	route                        string
 	failure                      float64
 	seed                         int64
 	timeout                      time.Duration
 	heatmap                      bool
+	cacheDir                     string
 }
 
 func run(o opts) error {
@@ -106,14 +115,24 @@ func run(o opts) error {
 		}
 	}
 
-	m, err := simulate.New(grid, layout,
+	policy, err := route.Parse(o.route)
+	if err != nil {
+		return err
+	}
+
+	mopts := []simulate.Option{
 		simulate.WithResources(o.t, o.g, o.p),
 		simulate.WithPurifyDepth(o.depth),
 		simulate.WithCodeLevel(o.level),
 		simulate.WithHopCells(o.hopCells),
+		simulate.WithRouting(policy),
 		simulate.WithFailureRate(o.failure),
 		simulate.WithSeed(o.seed),
-	)
+	}
+	if o.cacheDir != "" {
+		mopts = append(mopts, simulate.WithCacheDir(o.cacheDir))
+	}
+	m, err := simulate.New(grid, layout, mopts...)
 	if err != nil {
 		return err
 	}
@@ -125,18 +144,27 @@ func run(o opts) error {
 		defer cancel()
 	}
 
-	res, detail, err := m.RunDetailed(ctx, prog)
+	// The heatmap needs per-component Details, which are not cached;
+	// plain runs go through Machine.Run so an attached cache can serve
+	// warm re-runs without simulating.
+	var res simulate.Result
+	var detail *simulate.Detail
+	if o.heatmap {
+		res, detail, err = m.RunDetailed(ctx, prog)
+	} else {
+		res, err = m.Run(ctx, prog)
+	}
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("workload            %s (%d logical qubits, %d ops)\n", prog.Name, prog.Qubits, res.Ops)
-	fmt.Printf("machine             %dx%d mesh, %v layout, t=%d g=%d p=%d, depth-%d purifiers, level-%d code\n",
-		o.gridN, o.gridN, layout, o.t, o.g, o.p, o.depth, o.level)
+	fmt.Printf("machine             %dx%d mesh, %v layout, t=%d g=%d p=%d, depth-%d purifiers, level-%d code, %s routing\n",
+		o.gridN, o.gridN, layout, o.t, o.g, o.p, o.depth, o.level, m.RoutingName())
 	fmt.Printf("execution time      %v\n", res.Exec)
 	fmt.Printf("channels            %d (%d ops were local)\n", res.Channels, res.LocalOps)
 	fmt.Printf("EPR pairs delivered %d\n", res.PairsDelivered)
-	fmt.Printf("EPR pair-hops       %d\n", res.PairHops)
+	fmt.Printf("EPR pair-hops       %d (%d router turns)\n", res.PairHops, res.Turns)
 	if res.FailedBatches > 0 {
 		fmt.Printf("failed batches      %d (failure rate %.2f)\n", res.FailedBatches, o.failure)
 	}
@@ -157,6 +185,9 @@ func run(o opts) error {
 		}
 		hot, v := detail.HottestTile()
 		fmt.Printf("\nhottest T' node: %v at %.1f%%\n", hot, 100*v)
+	}
+	if c := m.Cache(); c != nil {
+		fmt.Fprintln(os.Stderr, "qnetsim: result cache:", c.Stats())
 	}
 	return nil
 }

@@ -9,6 +9,12 @@
 // failure injection, and caches results on disk with -cache-dir so a
 // repeated ablation only simulates what changed.
 //
+// The routing sweep (-routes) compares routing policies head to head:
+// every named policy runs the same workload under both layouts, and
+// each policy's execution-time ensemble is Welch-tested against the
+// first policy in the list, so a significant difference is flagged
+// rather than eyeballed.
+//
 // Usage:
 //
 //	sweep -mode errors              # error-rate scaling ablation
@@ -16,6 +22,8 @@
 //	sweep -mode depth -grid 6       # purifier-depth ablation (simulator)
 //	sweep -mode depth -workers 8    # explicit worker count
 //	sweep -mode depth -seeds 5 -failure 0.05 -cache-dir .qnet
+//	sweep -routes xy,yx,zigzag,least-congested      # routing-policy comparison
+//	sweep -routes all -seeds 5 -failure 0.05        # with a real ensemble spread
 package main
 
 import (
@@ -25,38 +33,43 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/figures"
 	"repro/internal/report"
 
 	"repro/qnet"
 	"repro/qnet/channel"
+	"repro/qnet/route"
 	"repro/qnet/simulate"
 	"repro/qnet/stats"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "errors", "sweep mode: errors, hops, depth or methodology")
+		mode     = flag.String("mode", "errors", "sweep mode: errors, hops, depth, routes or methodology")
 		dist     = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
-		gridN    = flag.Int("grid", 6, "mesh edge length for the depth sweep")
-		workers  = flag.Int("workers", 0, "worker goroutines for the depth sweep (0 = GOMAXPROCS)")
-		seeds    = flag.Int("seeds", 1, "ensemble size (seeds per depth-sweep point)")
-		failure  = flag.Float64("failure", 0, "purification failure-injection rate for the depth sweep")
+		gridN    = flag.Int("grid", 6, "mesh edge length for the simulator sweeps")
+		workers  = flag.Int("workers", 0, "worker goroutines for the simulator sweeps (0 = GOMAXPROCS)")
+		seeds    = flag.Int("seeds", 1, "ensemble size (seeds per simulated point)")
+		failure  = flag.Float64("failure", 0, "purification failure-injection rate for the simulator sweeps")
 		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty: no cache)")
+		routes   = flag.String("routes", "", `routing policies to compare, comma-separated ("all" or e.g. "xy,yx,zigzag,least-congested"); implies -mode routes`)
 	)
 	flag.Parse()
 
 	var err error
-	switch *mode {
-	case "errors":
+	switch {
+	case *routes != "" || *mode == "routes":
+		err = sweepRoutes(*routes, *gridN, *workers, *seeds, *failure, *cacheDir)
+	case *mode == "errors":
 		err = sweepErrors(*dist)
-	case "hops":
+	case *mode == "hops":
 		err = sweepHops(*dist)
-	case "depth":
+	case *mode == "depth":
 		err = sweepDepth(*gridN, *workers, *seeds, *failure, *cacheDir)
-	case "methodology":
+	case *mode == "methodology":
 		err = sweepMethodology()
 	default:
-		err = fmt.Errorf("unknown mode %q (want errors, hops, depth or methodology)", *mode)
+		err = fmt.Errorf("unknown mode %q (want errors, hops, depth, routes or methodology)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
@@ -157,6 +170,44 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string) err
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "sweep:", simulate.Summarize(points))
+	return nil
+}
+
+// sweepRoutes compares routing policies on one workload: every policy
+// in the list runs QFT under both layouts as a seed ensemble, and each
+// policy's execution times are Welch-tested against the first policy's
+// (the baseline), with Cohen's d as the effect size ("*" marks
+// p < 0.05).  The measurement and table are figures.Routing — the same
+// comparison cmd/figures prints — so the two front-ends cannot drift.
+func sweepRoutes(routes string, gridN, workers, seeds int, failure float64, cacheDir string) error {
+	if routes == "all" {
+		routes = ""
+	}
+	policies, err := route.ParseList(routes)
+	if err != nil {
+		return err
+	}
+	if len(policies) < 2 {
+		return fmt.Errorf("routing comparison needs at least 2 policies, got %d", len(policies))
+	}
+	cfg := figures.DefaultRoutingConfig(gridN)
+	cfg.Routings = policies
+	cfg.Seeds = simulate.SeedRange(seeds)
+	cfg.FailureRate = failure
+	cfg.Workers = workers
+	if cacheDir != "" {
+		if cfg.Cache, err = simulate.NewDiskCache(cacheDir, 0); err != nil {
+			return err
+		}
+	}
+	data, err := figures.Routing(cfg)
+	if err != nil {
+		return err
+	}
+	if err := data.Table().WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sweep:", data.Sweep)
 	return nil
 }
 

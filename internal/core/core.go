@@ -17,15 +17,35 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/epr"
+	"repro/internal/mesh"
 	"repro/internal/phys"
+	"repro/internal/route"
 )
 
-// Spec describes a channel to be planned.
+// Spec describes a channel to be planned.  The path is given either
+// abstractly (Hops, a straight path with no turns) or concretely (Grid
+// with Src/Dst endpoints plus an optional Route policy), in which case
+// the planner derives the hop count and turn count from the same
+// routing decision the simulator makes, so the closed-form model and
+// the measured one agree on geometry.
 type Spec struct {
 	// Params are the device constants.
 	Params phys.Params
-	// Hops is the path length in teleporter-grid hops.
+	// Hops is the path length in teleporter-grid hops.  Ignored when
+	// Grid is set (the routed path determines it).
 	Hops int
+	// Grid, when non-empty, pins the channel to a concrete mesh: the
+	// path runs from Src to Dst under the Route policy.
+	Grid mesh.Grid
+	// Src and Dst are the channel endpoints on Grid.
+	Src, Dst mesh.Coord
+	// Route is the routing policy used to derive the concrete path
+	// (nil = dimension order, exactly like the simulator's default).
+	// Only consulted when Grid is set.
+	Route route.Policy
+	// TurnCells is the in-router ballistic distance paid per X/Y turn
+	// of the routed path (default 20, the simulator's default).
+	TurnCells int
 	// HopCells is the physical hop span (default 600).
 	HopCells int
 	// CodeLevel is the Steane concatenation level of the transported
@@ -50,6 +70,11 @@ type Channel struct {
 	ErrorRate float64
 	// EndpointRounds is the endpoint purification tree depth.
 	EndpointRounds int
+	// Turns is the number of X/Y direction changes of the planned
+	// path: 0 for an abstract straight-line Spec, and the routed
+	// path's turn count when the Spec pins Grid/Src/Dst.  Each turn
+	// adds one ballistic set-switch to the setup pipeline fill.
+	Turns int
 	// PairsPerLogical is the EPR pairs delivered to the endpoints per
 	// logical-qubit teleportation.
 	PairsPerLogical int
@@ -89,6 +114,27 @@ func Plan(spec Spec) (Channel, error) {
 	if spec.Purifiers == 0 {
 		spec.Purifiers = 16
 	}
+	turns := 0
+	if spec.Grid.Tiles() > 0 {
+		// Concrete path: the routing policy decides hops and turns,
+		// exactly as the simulator would for the same endpoints.
+		if spec.TurnCells == 0 {
+			spec.TurnCells = 20
+		}
+		policy := spec.Route
+		if policy == nil {
+			policy = route.Default()
+		}
+		dirs, err := policy.Route(spec.Grid, spec.Src, spec.Dst, nil)
+		if err != nil {
+			return Channel{}, err
+		}
+		if len(dirs) == 0 {
+			return Channel{}, fmt.Errorf("core: channel endpoints %v and %v coincide", spec.Src, spec.Dst)
+		}
+		spec.Hops = len(dirs)
+		turns = route.Turns(dirs)
+	}
 	if spec.Hops < 1 {
 		return Channel{}, fmt.Errorf("core: channel needs at least 1 hop, got %d", spec.Hops)
 	}
@@ -112,6 +158,7 @@ func Plan(spec Spec) (Channel, error) {
 		Spec:           spec,
 		ErrorRate:      cost.FinalError,
 		EndpointRounds: cost.EndpointRounds,
+		Turns:          turns,
 	}
 	pairsPerQubit := 1 << uint(cost.EndpointRounds)
 	ch.PairsPerLogical = pairsPerQubit * code.PhysicalQubits()
@@ -137,6 +184,10 @@ func Plan(spec Spec) (Channel, error) {
 		setSize = 1
 	}
 	fill := time.Duration(spec.Hops) * (genTime + teleTime)
+	// A routed path's turns each add one ballistic set switch to the
+	// pipeline fill (turns is 0 for an abstract straight-line Spec, so
+	// legacy plans are unchanged).
+	fill += time.Duration(turns) * p.BallisticTime(spec.TurnCells)
 	totalPairs := ch.PairsPerLogical
 	perPair := maxDuration(
 		genTime/time.Duration(spec.Generators),

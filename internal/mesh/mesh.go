@@ -2,8 +2,14 @@
 // Section 5 (Figure 13): a 2-D mesh of tiles, each holding a logical
 // qubit (LQ) site with its associated teleporter (T'), corrector (C) and
 // purifier (P) nodes, with generator (G) nodes on the links between
-// adjacent tiles.  Routing is dimension-ordered (X then Y), matching the
-// simulator the paper describes.
+// adjacent tiles.
+//
+// Path construction lives behind the routing layer (package
+// internal/route): a route.Policy turns a src/dst pair into a hop
+// sequence, and Grid.Follow walks that sequence into the tiles it
+// visits.  Grid.Route remains as the dimension-ordered (X then Y)
+// reference path — the paper's hardwired routing — which the default
+// policy delegates to.
 package mesh
 
 import "fmt"
@@ -65,6 +71,21 @@ func (d Direction) Axis() int {
 		return 0
 	}
 	return 1
+}
+
+// Opposite returns the reverse direction: traffic traveling in
+// direction d arrives at the next tile from d.Opposite().
+func (d Direction) Opposite() Direction {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	default:
+		return North
+	}
 }
 
 // Step returns the coordinate one tile away in the direction.
@@ -154,11 +175,25 @@ func (g Grid) RouteTiles(src, dst Coord) ([]Coord, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.Follow(src, dirs)
+}
+
+// Follow walks a hop sequence from src and returns the tiles visited,
+// starting at src (len = len(dirs)+1).  It validates that every tile on
+// the way lies on the grid, so a routing policy that walks off the mesh
+// is caught here rather than corrupting the simulation.
+func (g Grid) Follow(src Coord, dirs []Direction) ([]Coord, error) {
+	if !g.Contains(src) {
+		return nil, fmt.Errorf("mesh: path source %v outside %dx%d grid", src, g.Width, g.Height)
+	}
 	tiles := make([]Coord, 0, len(dirs)+1)
 	tiles = append(tiles, src)
 	cur := src
-	for _, d := range dirs {
+	for i, d := range dirs {
 		cur = cur.Step(d)
+		if !g.Contains(cur) {
+			return nil, fmt.Errorf("mesh: path leaves the %dx%d grid at hop %d (%v)", g.Width, g.Height, i, cur)
+		}
 		tiles = append(tiles, cur)
 	}
 	return tiles, nil

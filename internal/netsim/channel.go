@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/mesh"
@@ -28,13 +29,19 @@ func (s *simulator) channel(src, dst mesh.Coord, done func()) {
 	s.channels++
 	start := s.engine.Now()
 
-	dirs, err := s.cfg.Grid.Route(src, dst)
+	// The routing policy decides the hop path at setup time; adaptive
+	// policies see the routers' live loads through the loads adapter.
+	dirs, err := s.policy.Route(s.cfg.Grid, src, dst, loads{s})
 	if err != nil {
 		panic(err) // placements are validated against the grid
 	}
-	tiles, err := s.cfg.Grid.RouteTiles(src, dst)
+	tiles, err := s.cfg.Grid.Follow(src, dirs)
 	if err != nil {
-		panic(err)
+		panic(err) // a policy that walks off the mesh is a policy bug
+	}
+	if tiles[len(tiles)-1] != dst {
+		panic(fmt.Sprintf("netsim: policy %q routed %v to %v, want %v",
+			s.policy.Name(), src, tiles[len(tiles)-1], dst))
 	}
 
 	ch := &channelRun{
@@ -74,7 +81,7 @@ func (ch *channelRun) hop(i int) {
 
 	// Storage at the receiving T' node: traffic arrives from the
 	// opposite direction of travel.
-	store := s.nodes[s.cfg.Grid.Index(to)].Storage(opposite(dir))
+	store := s.nodes[s.cfg.Grid.Index(to)].Storage(dir.Opposite())
 	store.Acquire(func() {
 		// Link pairs from the G node of the crossed link.
 		link, err := mesh.LinkBetween(from, to)
@@ -89,6 +96,7 @@ func (ch *channelRun) hop(i int) {
 			latency := s.teleportLatency()
 			if i > 0 && ch.dirs[i-1].Axis() != dir.Axis() {
 				latency += node.TurnPenalty()
+				s.turns++
 			}
 			node.TeleporterSet(dir.Axis()).Serve(latency, func() {
 				s.pairHops += uint64(s.cfg.batchPairs())
@@ -98,7 +106,7 @@ func (ch *channelRun) hop(i int) {
 				// The batch now occupies storage at `to`; it frees its
 				// slot at the previous tile (held since the prior hop).
 				if i > 0 {
-					prev := s.nodes[s.cfg.Grid.Index(from)].Storage(opposite(ch.dirs[i-1]))
+					prev := s.nodes[s.cfg.Grid.Index(from)].Storage(ch.dirs[i-1].Opposite())
 					prev.Release()
 				}
 				if i+1 < len(ch.dirs) {
@@ -133,7 +141,7 @@ func (ch *channelRun) arrive() {
 			s.purify[hi].Acquire(func() {
 				// Purify: free the arrival storage slot as the batch
 				// drains into the purifier.
-				storeDir := opposite(ch.dirs[len(ch.dirs)-1])
+				storeDir := ch.dirs[len(ch.dirs)-1].Opposite()
 				s.nodes[dstIdx].Storage(storeDir).Release()
 				latency := s.purifyBatchLatency(len(ch.dirs))
 				rounds := s.cfg.batchPairs() - 1 // tree of 2^d leaves has 2^d - 1 purifications
@@ -204,19 +212,6 @@ func (s *simulator) purifyBatchLatency(hops int) time.Duration {
 	return per * time.Duration(rounds)
 }
 
-func opposite(d mesh.Direction) mesh.Direction {
-	switch d {
-	case mesh.East:
-		return mesh.West
-	case mesh.West:
-		return mesh.East
-	case mesh.North:
-		return mesh.South
-	default:
-		return mesh.North
-	}
-}
-
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // result assembles the Result from the simulator's counters.
@@ -228,6 +223,7 @@ func (s *simulator) result(prog workload.Program) Result {
 		LocalOps:       s.localOps,
 		PairsDelivered: s.channels * uint64(s.numBatches*s.cfg.batchPairs()),
 		PairHops:       s.pairHops,
+		Turns:          s.turns,
 		Events:         s.engine.Processed(),
 	}
 	msgs, _, _, _ := s.net.Stats()

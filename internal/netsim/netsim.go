@@ -1,9 +1,11 @@
 // Package netsim is the event-driven communication simulator of the
 // paper's Section 5: a mesh grid of logical-qubit tiles with T'
 // (teleporter), G (generator), C (corrector) and P (queue purifier)
-// nodes, executing a logical instruction stream under dimension-order
-// routing, with full contention for teleporters, generators, purifiers
-// and per-link storage.
+// nodes, executing a logical instruction stream with full contention
+// for teleporters, generators, purifiers and per-link storage.  The
+// hop path of every logical communication is chosen by a pluggable
+// route.Policy (Config.Route); the default is the paper's
+// dimension-order (X then Y) routing.
 //
 // Each logical communication sets up a quantum channel: EPR pairs are
 // chain-teleported hop by hop from source to destination (consuming a
@@ -30,6 +32,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/mesh"
 	"repro/internal/phys"
+	"repro/internal/route"
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -90,6 +93,13 @@ type Config struct {
 	// TurnCells is the in-router ballistic distance between teleporter
 	// sets, paid on X/Y turns.
 	TurnCells int
+	// Route is the routing policy deciding each channel's hop path
+	// across the mesh.  nil selects route.XYOrder, the paper's
+	// dimension-order routing; any policy (including the adaptive
+	// route.LeastCongested, which consults the routers' live loads at
+	// channel-setup time) can be plugged in without touching the
+	// simulator core.
+	Route route.Policy
 	// PurifyFailureRate injects stochastic purification failure: each
 	// batch fails end-to-end purification with this probability and a
 	// replacement batch must be sent through the network (the queue
@@ -171,6 +181,11 @@ type Result struct {
 	// PairHops is the total pair-teleportations performed (the network
 	// strain metric of Figure 11).
 	PairHops uint64
+	// Turns is the total number of X/Y turns taken inside router nodes
+	// (each paying the ballistic set-switch penalty once), summed over
+	// every batch of every channel.  Dimension-order routing turns at
+	// most once per path; zigzag turns at almost every hop.
+	Turns uint64
 	// Events is the number of simulation events processed.
 	Events uint64
 	// ClassicalMessages is the classical control message count.
@@ -193,6 +208,7 @@ type Result struct {
 // simulator carries the live state of one run.
 type simulator struct {
 	cfg     Config
+	policy  route.Policy
 	engine  *sim.Engine
 	nodes   []*router.Node              // per tile
 	purify  []*sim.Resource             // per tile P node
@@ -210,6 +226,7 @@ type simulator struct {
 	channels      uint64
 	localOps      uint64
 	pairHops      uint64
+	turns         uint64
 	failedBatches uint64
 	rng           *rand.Rand
 	latencies     sim.Tally
@@ -229,12 +246,31 @@ func RunContext(ctx context.Context, cfg Config, prog workload.Program) (Result,
 	return res, err
 }
 
+// loads adapts the simulator's router nodes to the route.Loads
+// interface, giving adaptive policies a live view of teleporter-set and
+// storage pressure at channel-setup time.
+type loads struct{ s *simulator }
+
+// AxisLoad reports the directional teleporter-set pressure at c.
+func (l loads) AxisLoad(c mesh.Coord, axis int) float64 {
+	return l.s.nodes[l.s.cfg.Grid.Index(c)].AxisLoad(axis)
+}
+
+// StorageLoad reports the incoming-storage occupancy at c.
+func (l loads) StorageLoad(c mesh.Coord, from mesh.Direction) float64 {
+	return l.s.nodes[l.s.cfg.Grid.Index(c)].StorageLoad(from)
+}
+
 func (s *simulator) build(prog workload.Program) error {
 	cfg := s.cfg
 	var err error
 	code, err := ecc.Steane(cfg.CodeLevel)
 	if err != nil {
 		return err
+	}
+	s.policy = cfg.Route
+	if s.policy == nil {
+		s.policy = route.Default()
 	}
 	s.code = code
 	s.numBatches = code.PairsPerLogicalTeleport()

@@ -1,0 +1,95 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// loadNode builds a 4-teleporter node with 2 storage units per incoming
+// link for the load-accounting tests.
+func loadNode(t *testing.T) *Node {
+	t.Helper()
+	engine := sim.New()
+	n, err := New(engine, mesh.Coord{X: 1, Y: 1},
+		[]mesh.Direction{mesh.East, mesh.West, mesh.North, mesh.South},
+		Config{Teleporters: 4, StorageUnits: 2, TurnCells: 20, Params: phys.IonTrap2006()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestTurnPenaltyChargesPerCall asserts the ballistic turn penalty is
+// a fixed per-turn latency and that every charge is counted exactly
+// once: n calls mean n turns, each costing BallisticTime(TurnCells),
+// and zero calls mean a zero count (a straight-line path never pays).
+func TestTurnPenaltyChargesPerCall(t *testing.T) {
+	n := loadNode(t)
+	if n.Turns() != 0 {
+		t.Fatalf("fresh node reports %d turns", n.Turns())
+	}
+	want := phys.IonTrap2006().BallisticTime(20)
+	for i := 1; i <= 3; i++ {
+		if got := n.TurnPenalty(); got != want {
+			t.Errorf("turn %d: penalty %v, want %v", i, got, want)
+		}
+		if n.Turns() != uint64(i) {
+			t.Errorf("after %d charges: count %d", i, n.Turns())
+		}
+	}
+}
+
+// TestAxisLoadAccountsServiceAndQueue asserts AxisLoad reflects both
+// in-service and waiting jobs, normalized by the set capacity, and
+// stays per-axis.
+func TestAxisLoadAccountsServiceAndQueue(t *testing.T) {
+	n := loadNode(t)
+	if n.AxisLoad(0) != 0 || n.AxisLoad(1) != 0 {
+		t.Fatalf("idle node reports load %v/%v", n.AxisLoad(0), n.AxisLoad(1))
+	}
+	// The X set has 2 units (4 teleporters split across two axes).
+	// Occupy both, then queue a third job.
+	x := n.TeleporterSet(0)
+	for i := 0; i < 3; i++ {
+		x.Acquire(func() {})
+	}
+	if got := n.AxisLoad(0); got != 1.5 {
+		t.Errorf("AxisLoad(0) = %v, want 1.5 (2 busy + 1 queued over capacity 2)", got)
+	}
+	if got := n.AxisLoad(1); got != 0 {
+		t.Errorf("AxisLoad(1) = %v, want 0 (loads must not leak across axes)", got)
+	}
+}
+
+// TestStorageLoadAccountsCreditsAndWaiters asserts StorageLoad tracks
+// taken credits plus queued acquirers, and returns zero for absent
+// links.
+func TestStorageLoadAccountsCreditsAndWaiters(t *testing.T) {
+	n := loadNode(t)
+	s := n.Storage(mesh.East)
+	if got := n.StorageLoad(mesh.East); got != 0 {
+		t.Fatalf("empty storage load %v", got)
+	}
+	s.Acquire(func() {})
+	if got := n.StorageLoad(mesh.East); got != 0.5 {
+		t.Errorf("half-full storage load %v, want 0.5", got)
+	}
+	s.Acquire(func() {})
+	s.Acquire(func() {}) // queued: no credits left
+	if got := n.StorageLoad(mesh.East); got != 1.5 {
+		t.Errorf("overloaded storage load %v, want 1.5", got)
+	}
+	// A border node without a link in some direction reports zero.
+	engine := sim.New()
+	border, err := New(engine, mesh.Coord{X: 0, Y: 0}, []mesh.Direction{mesh.East},
+		Config{Teleporters: 4, StorageUnits: 2, Params: phys.IonTrap2006()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := border.StorageLoad(mesh.West); got != 0 {
+		t.Errorf("absent link storage load %v, want 0", got)
+	}
+}

@@ -99,6 +99,28 @@ func (n *Node) Storage(fromDir mesh.Direction) *sim.Semaphore {
 	return n.storage[fromDir]
 }
 
+// AxisLoad reports the live queue pressure of the directional
+// teleporter set (0 = X traffic, 1 = Y traffic): jobs in service plus
+// jobs waiting, normalized by the set's capacity.  0 means idle; values
+// above 1 mean a backlog.  Adaptive routing policies consult it at
+// channel-setup time through the route.Loads interface.
+func (n *Node) AxisLoad(axis int) float64 {
+	r := n.TeleporterSet(axis)
+	return float64(r.InUse()+r.QueueLen()) / float64(r.Capacity())
+}
+
+// StorageLoad reports the occupancy fraction of the incoming storage
+// for traffic arriving from the given direction: taken credits plus
+// queued acquirers over the storage limit (0 when the node has no link
+// there).  Like AxisLoad it exceeds 1 under backlog.
+func (n *Node) StorageLoad(fromDir mesh.Direction) float64 {
+	s := n.storage[fromDir]
+	if s == nil {
+		return 0
+	}
+	return float64(s.Limit()-s.Available()+s.Waiting()) / float64(s.Limit())
+}
+
 // TurnPenalty returns the ballistic-move latency for switching between
 // the X and Y teleporter sets and counts the turn.
 func (n *Node) TurnPenalty() time.Duration {

@@ -12,6 +12,11 @@
 //	p := qnet.IonTrap2006()
 //	cost := channel.DefaultDistribution(p).Evaluate(channel.EndpointsOnly, 30)
 //	ch, err := channel.Plan(channel.Spec{Params: p, Hops: 30})
+//
+// A Spec can also pin the channel to a concrete mesh path: set Grid,
+// Src and Dst (plus an optional qnet/route policy), and the planner
+// derives the hop and turn counts from the same routing decision the
+// simulator makes — PlanOnMesh is the shorthand.
 package channel
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/epr"
 
 	"repro/qnet"
+	"repro/qnet/route"
 )
 
 // Scheme selects where purification happens during EPR distribution
@@ -61,6 +67,15 @@ type Channel = core.Channel
 // Plan builds the analytical channel model of the paper's Section 4 for
 // one path.
 func Plan(spec Spec) (Channel, error) { return core.Plan(spec) }
+
+// PlanOnMesh plans a channel between two tiles of a mesh under a
+// routing policy (nil = dimension order): hop count, turn count and
+// the turn penalty in the setup latency all come from the policy's
+// path, so the closed-form numbers agree with the geometry the
+// simulator would choose for the same endpoints.
+func PlanOnMesh(p qnet.Params, g qnet.Grid, src, dst route.Coord, policy route.Policy) (Channel, error) {
+	return core.Plan(Spec{Params: p, Grid: g, Src: src, Dst: dst, Route: policy})
+}
 
 // MovePlan is the electrode-level pulse program that shuttles one ion
 // between traps (Figure 2).

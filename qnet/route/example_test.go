@@ -1,0 +1,33 @@
+package route_test
+
+import (
+	"fmt"
+
+	"repro/qnet"
+	"repro/qnet/route"
+)
+
+// Example routes one src/dst pair under every shipped policy: all
+// paths are minimal (equal hop counts), but they turn in different
+// places — the trade each policy makes against the router's ballistic
+// turn penalty.
+func Example() {
+	grid, err := qnet.NewGrid(8, 8)
+	if err != nil {
+		panic(err)
+	}
+	src := route.Coord{X: 0, Y: 0}
+	dst := route.Coord{X: 3, Y: 2}
+	for _, p := range route.Policies() {
+		dirs, err := p.Route(grid, src, dst, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-16s %d hops, %d turns\n", p.Name(), len(dirs), route.Turns(dirs))
+	}
+	// Output:
+	// xy               5 hops, 1 turns
+	// yx               5 hops, 1 turns
+	// zigzag           5 hops, 4 turns
+	// least-congested  5 hops, 1 turns
+}

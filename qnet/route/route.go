@@ -1,0 +1,100 @@
+// Package route exposes the pluggable routing layer of the mesh
+// interconnect: a Policy decides the hop path every quantum channel
+// takes across the grid, and plugs into the simulator
+// (simulate.WithRouting, simulate.Space.Routings), the analytic channel
+// planner (channel.Spec.Route) and the command-line tools
+// (qnetsim -route, sweep -routes).
+//
+// The paper's Section 5 simulator hardwires dimension-order (X then Y)
+// routing; that policy remains the default everywhere, and a machine
+// built without an explicit policy behaves — byte for byte — like the
+// pre-routing-layer simulator.  Four policies ship:
+//
+//		p, err := route.Parse("zigzag")
+//		m, err := simulate.New(grid, simulate.HomeBase, simulate.WithRouting(p))
+//
+//	  - XYOrder ("xy"): all X hops then all Y hops, at most one turn.
+//	  - YXOrder ("yx"): the mirrored dimension order.
+//	  - ZigZag ("zigzag"): staircase interleaving, spreading the ballistic
+//	    turn penalty across the path's routers.
+//	  - LeastCongested ("least-congested"): minimal adaptive routing by
+//	    live teleporter-set and storage load.
+//
+// All shipped policies are minimal (hop count = Manhattan distance);
+// they differ only in where they turn and which links they load.
+package route
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/route"
+)
+
+// Policy decides the hop path of one channel.  Implementations must be
+// deterministic for equal inputs and safe for concurrent use; Name
+// identifies the policy in cache keys, so two policies with equal
+// names must route identically.
+type Policy = route.Policy
+
+// Loads exposes live mesh congestion to adaptive policies; the
+// simulator implements it over its router nodes.  Pass nil for a
+// zero-load (static) decision.
+type Loads = route.Loads
+
+// Direction is an axis-aligned unit movement on the mesh.
+type Direction = mesh.Direction
+
+// Coord is a tile coordinate on the mesh.
+type Coord = mesh.Coord
+
+// DefaultName is the canonical name of the default policy ("xy").
+const DefaultName = route.DefaultName
+
+// XYOrder returns the paper's dimension-order routing policy: all X
+// hops first, then all Y hops.  It is the default everywhere a Policy
+// is accepted.
+func XYOrder() Policy { return route.XYOrder() }
+
+// YXOrder returns the mirrored dimension-order policy: all Y hops
+// first, then all X hops.
+func YXOrder() Policy { return route.YXOrder() }
+
+// ZigZag returns the staircase policy: X and Y moves alternate
+// wherever the negative-first turn model allows, spreading the
+// ballistic turn penalty across the path instead of concentrating it
+// at one corner.
+func ZigZag() Policy { return route.ZigZag() }
+
+// LeastCongested returns the minimal adaptive policy: at every tile
+// with a legal choice it takes the productive direction whose
+// teleporter set and downstream storage report the least live load,
+// continuing straight on ties.  Its adaptivity is restricted to the
+// negative-first turn model, which keeps it deadlock-free under the
+// router's blocking storage credits.
+func LeastCongested() Policy { return route.LeastCongested() }
+
+// Default returns the default policy, XYOrder.
+func Default() Policy { return route.Default() }
+
+// NameOf returns the policy's canonical name, mapping nil to
+// DefaultName (a machine without an explicit policy routes exactly
+// like XYOrder).
+func NameOf(p Policy) string { return route.NameOf(p) }
+
+// Turns counts the direction changes along a path — the number of
+// ballistic X/Y set switches its batches pay inside router nodes.
+func Turns(dirs []Direction) int { return route.Turns(dirs) }
+
+// Policies returns one instance of every shipped policy in canonical
+// order: xy, yx, zigzag, least-congested.
+func Policies() []Policy { return route.Policies() }
+
+// Names returns the canonical CLI names of the shipped policies.
+func Names() []string { return route.Names() }
+
+// Parse resolves a policy by its canonical name (case-insensitive);
+// the empty string resolves to the default policy.
+func Parse(name string) (Policy, error) { return route.Parse(name) }
+
+// ParseList resolves a comma-separated list of policy names; the empty
+// string resolves to all shipped policies.
+func ParseList(csv string) ([]Policy, error) { return route.ParseList(csv) }

@@ -21,12 +21,15 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/netsim"
 
 	"repro/qnet"
+	"repro/qnet/route"
 )
 
 // Key is the content address of one simulation run: a SHA-256 digest of
@@ -41,8 +44,10 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
 // keyVersion is bumped whenever the canonical serialization below — or
 // the simulator's observable behaviour — changes, invalidating every
-// previously stored result.
-const keyVersion = "qnet-result-v1"
+// previously stored result.  v2: the routing policy joined the key (and
+// Result gained the Turns counter); distinct policies must never
+// collide on one key.
+const keyVersion = "qnet-result-v2"
 
 // hashString writes a length-prefixed string into the hash, so field
 // boundaries cannot alias ("ab"+"c" vs "a"+"bc").
@@ -69,10 +74,10 @@ func hashFloat(w io.Writer, v float64) {
 // the given fully-resolved configuration.  The hash covers, in a fixed
 // field order (never a Go map, so it is independent of map iteration
 // order): the key version, every device constant of the paper's
-// Tables 1-2, the grid dimensions, the layout, the per-node resource
-// counts, purifier depth, code level, hop and turn geometry, the failure
-// rate, the effective seed, and a fingerprint of the program (name,
-// qubit count and every op).
+// Tables 1-2, the grid dimensions, the layout, the routing policy (by
+// canonical name), the per-node resource counts, purifier depth, code
+// level, hop and turn geometry, the failure rate, the effective seed,
+// and a fingerprint of the program (name, qubit count and every op).
 //
 // When the failure rate is zero the simulation never consults its RNG,
 // so the seed cannot influence the result; keyFor canonicalizes the
@@ -93,10 +98,13 @@ func keyFor(cfg netsim.Config, prog qnet.Program) Key {
 	hashFloat(h, cfg.Params.Errors.MoveCell)
 	hashFloat(h, cfg.Params.Errors.Measure)
 
-	// Machine shape.
+	// Machine shape.  The routing policy is hashed by its canonical
+	// name (nil canonicalizes to "xy", which routes identically), so
+	// two machines differing only in policy never share a key.
 	hashInt(h, int64(cfg.Grid.Width))
 	hashInt(h, int64(cfg.Grid.Height))
 	hashInt(h, int64(cfg.Layout))
+	hashString(h, route.NameOf(cfg.Route))
 	hashInt(h, int64(cfg.Teleporters))
 	hashInt(h, int64(cfg.Generators))
 	hashInt(h, int64(cfg.Purifiers))
@@ -142,13 +150,15 @@ const DefaultCacheEntries = 4096
 // plus its current occupancy.  Hits counts every Get served (from
 // memory or disk); DiskHits is the subset that had to be read from the
 // on-disk store; WriteErrors counts best-effort disk writes that
-// failed.
+// failed; DiskEvictions counts on-disk entries pruned by the max-bytes
+// or max-age budget.
 type CacheStats struct {
-	Hits        uint64
-	DiskHits    uint64
-	Misses      uint64
-	WriteErrors uint64
-	Entries     int
+	Hits          uint64
+	DiskHits      uint64
+	Misses        uint64
+	WriteErrors   uint64
+	DiskEvictions uint64
+	Entries       int
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -179,6 +189,15 @@ type Cache struct {
 	order   *list.List // front = most recently used
 	entries map[Key]*list.Element
 	stats   CacheStats
+
+	// On-disk budget (NewDiskCache options).  diskBytes is a running
+	// estimate of the store's size, corrected by every prune's rescan;
+	// diskMu serializes prune passes so concurrent Puts don't stack
+	// directory scans.
+	maxBytes  int64
+	maxAge    time.Duration
+	diskBytes int64
+	diskMu    sync.Mutex
 }
 
 // cacheEntry is one LRU slot.
@@ -200,18 +219,99 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
+// DiskOption tunes the on-disk store built by NewDiskCache.
+type DiskOption func(*Cache)
+
+// WithMaxBytes caps the on-disk store's total size.  When a write
+// pushes the store over the cap, the least recently used entries (by
+// file modification time; disk reads refresh it) are pruned until the
+// store fits.  Non-positive values mean unlimited (the default).
+func WithMaxBytes(n int64) DiskOption {
+	return func(c *Cache) { c.maxBytes = n }
+}
+
+// WithMaxAge evicts on-disk entries whose modification time is older
+// than d, at cache construction and on every subsequent prune pass.
+// Non-positive values mean unlimited (the default).
+func WithMaxAge(d time.Duration) DiskOption {
+	return func(c *Cache) { c.maxAge = d }
+}
+
 // NewDiskCache builds a result cache backed by dir: every Put is also
 // written to dir/<key>.json, and a Get that misses in memory falls back
 // to the directory, so results persist across processes.  The directory
 // is created if missing.  Unreadable or corrupt files are treated as
-// misses, never errors.
-func NewDiskCache(dir string, capacity int) (*Cache, error) {
+// misses, never errors.  WithMaxBytes and WithMaxAge bound a long-lived
+// store: stale or over-budget entries are pruned LRU-by-mtime, so the
+// directory never outgrows its budget.
+func NewDiskCache(dir string, capacity int, opts ...DiskOption) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("simulate: cache dir: %w", err)
 	}
 	c := NewCache(capacity)
 	c.dir = dir
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.maxBytes > 0 || c.maxAge > 0 {
+		// Startup pass: apply the age bound to entries left by earlier
+		// processes and seed the size estimate the write path maintains.
+		c.pruneDisk()
+	}
 	return c, nil
+}
+
+// pruneDisk enforces the on-disk budget: it rescans the store, deletes
+// entries older than maxAge, then deletes least-recently-used entries
+// (by mtime) until the total size fits maxBytes.  It returns the number
+// of entries removed.
+func (c *Cache) pruneDisk() int {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	names, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	entries := make([]entry, 0, len(names))
+	var total int64
+	now := time.Now()
+	removed := 0
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		if c.maxAge > 0 && now.Sub(fi.ModTime()) > c.maxAge {
+			if os.Remove(name) == nil {
+				removed++
+			}
+			continue
+		}
+		entries = append(entries, entry{path: name, size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	}
+	if c.maxBytes > 0 && total > c.maxBytes {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+		for _, e := range entries {
+			if total <= c.maxBytes {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				total -= e.size
+				removed++
+			}
+		}
+	}
+	c.mu.Lock()
+	c.diskBytes = total
+	c.stats.DiskEvictions += uint64(removed)
+	c.mu.Unlock()
+	return removed
 }
 
 // Dir returns the on-disk store's directory, or "" for a purely
@@ -269,10 +369,19 @@ func (c *Cache) Put(k Key, res Result) {
 	// atomic, so concurrent writers of one key each leave a complete
 	// file and the last rename wins.
 	if c.dir != "" {
-		if err := c.writeDisk(k, res); err != nil {
+		n, err := c.writeDisk(k, res)
+		if err != nil {
 			c.mu.Lock()
 			c.stats.WriteErrors++
 			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		c.diskBytes += n
+		over := c.maxBytes > 0 && c.diskBytes > c.maxBytes
+		c.mu.Unlock()
+		if over {
+			c.pruneDisk()
 		}
 	}
 }
@@ -288,10 +397,13 @@ func (c *Cache) insert(k Key, res Result) {
 	}
 }
 
-// readDisk loads one key from the on-disk store.  It touches no
+// readDisk loads one key from the on-disk store.  A hit refreshes the
+// file's modification time (best effort), so the max-bytes pruner's
+// LRU-by-mtime order reflects reads, not just writes.  It touches no
 // mutable cache state, so callers need not hold c.mu.
 func (c *Cache) readDisk(k Key) (Result, bool) {
-	data, err := os.ReadFile(c.path(k))
+	path := c.path(k)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return Result{}, false
 	}
@@ -299,35 +411,40 @@ func (c *Cache) readDisk(k Key) (Result, bool) {
 	if err := json.Unmarshal(data, &res); err != nil {
 		return Result{}, false
 	}
+	if c.maxBytes > 0 || c.maxAge > 0 {
+		now := time.Now()
+		_ = os.Chtimes(path, now, now)
+	}
 	return res, true
 }
 
 // writeDisk stores one key in the on-disk store via a same-directory
 // rename, so concurrent writers of the same key leave a complete file.
-// It touches no mutable cache state, so callers need not hold c.mu.
-func (c *Cache) writeDisk(k Key, res Result) error {
+// It returns the byte size written and touches no mutable cache state,
+// so callers need not hold c.mu.
+func (c *Cache) writeDisk(k Key, res Result) (int64, error) {
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmp.Name(), c.path(k)); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return 0, err
 	}
-	return nil
+	return int64(len(data)), nil
 }
 
 // Stats returns a snapshot of the cache's counters.

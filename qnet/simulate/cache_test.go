@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/qnet"
+	"repro/qnet/route"
 )
 
 // goldenKeyConfig is the fixed configuration pinned by the golden-key
@@ -32,7 +33,7 @@ func goldenKeyConfig(t testing.TB) (*Machine, qnet.Program) {
 // goldenKey pins the canonical serialization: any change to the hash
 // format (field order, encoding, version string) must change keyVersion
 // and update this constant, because it invalidates every on-disk store.
-const goldenKey = "dadb9421c764d81c214b8a63170de0f1c448eb297ef2269c374096de26e60b56"
+const goldenKey = "c84e892ae57c9c6853407f907f634e63d838085c24c4ffef1f6c346b70ec1e48"
 
 // TestKeyGolden asserts the content hash of a fixed configuration is
 // stable across processes and runs — the property that makes the
@@ -100,6 +101,12 @@ func TestKeySensitivity(t *testing.T) {
 		"turn cells":   build(WithResources(16, 16, 8), WithTurnCells(0)),
 		"failure rate": build(WithResources(16, 16, 8), WithFailureRate(0.5)),
 		"params":       build(WithResources(16, 16, 8), WithParams(qnet.IonTrap2006().Scale(10))),
+		"routing":      build(WithResources(16, 16, 8), WithRouting(route.YXOrder())),
+	}
+	// The explicit default policy and the nil default canonicalize to
+	// the same name, so they must share a key: they route identically.
+	if k := build(WithResources(16, 16, 8), WithRouting(route.XYOrder())); k != base {
+		t.Error("explicit XYOrder and the nil default hash differently")
 	}
 	for dim, k := range distinct {
 		if k == base {

@@ -1,0 +1,186 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/route"
+)
+
+// parityResult mirrors the Result fields that existed before the
+// routing layer was extracted, in their original declaration order, so
+// marshaling fresh runs through it reproduces the golden file's exact
+// JSON shape.  (Result has since gained Turns, which the golden
+// predates; everything the pre-refactor simulator reported is pinned
+// here.)
+type parityResult struct {
+	Exec               time.Duration
+	Ops                int
+	Channels           uint64
+	LocalOps           uint64
+	PairsDelivered     uint64
+	PairHops           uint64
+	Events             uint64
+	ClassicalMessages  uint64
+	FailedBatches      uint64
+	MeanChannelLatency time.Duration
+	MaxChannelLatency  time.Duration
+	TeleporterUtil     float64
+	GeneratorUtil      float64
+	PurifierUtil       float64
+}
+
+// parityRow mirrors the row shape of testdata/parity_xy.json.
+type parityRow struct {
+	Layout  string
+	T, G, P int
+	Program string
+	Depth   int
+	Result  parityResult
+}
+
+// paritySpace is the deterministic sweep the golden file was generated
+// from, before routing became pluggable: 5x5 grid, both layouts, two
+// allocations, two programs, two purifier depths, no failure injection.
+func paritySpace(t *testing.T, routings []route.Policy) Space {
+	t.Helper()
+	grid, err := qnet.NewGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Space{
+		Grids:   []qnet.Grid{grid},
+		Layouts: []Layout{HomeBase, MobileQubit},
+		Resources: []Resources{
+			{Teleporters: 16, Generators: 16, Purifiers: 8},
+			{Teleporters: 4, Generators: 4, Purifiers: 2},
+		},
+		Programs: []qnet.Program{qnet.QFT(grid.Tiles()), qnet.ModMult(grid.Tiles() / 2)},
+		Depths:   []int{2, 3},
+		Routings: routings,
+	}
+}
+
+// parityRows runs the parity space under the given routing dimension
+// and flattens the results into golden-file rows.
+func parityRows(t *testing.T, routings []route.Policy) []parityRow {
+	t.Helper()
+	points, err := Sweep(context.Background(), paritySpace(t, routings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]parityRow, 0, len(points))
+	for _, pt := range points {
+		if pt.Err != nil {
+			t.Fatalf("point %d: %v", pt.Point.Index, pt.Err)
+		}
+		r := pt.Result
+		rows = append(rows, parityRow{
+			Layout:  pt.Point.Layout.String(),
+			T:       pt.Point.Resources.Teleporters,
+			G:       pt.Point.Resources.Generators,
+			P:       pt.Point.Resources.Purifiers,
+			Program: pt.Point.Program.Name,
+			Depth:   pt.Point.Depth,
+			Result: parityResult{
+				Exec:               r.Exec,
+				Ops:                r.Ops,
+				Channels:           r.Channels,
+				LocalOps:           r.LocalOps,
+				PairsDelivered:     r.PairsDelivered,
+				PairHops:           r.PairHops,
+				Events:             r.Events,
+				ClassicalMessages:  r.ClassicalMessages,
+				FailedBatches:      r.FailedBatches,
+				MeanChannelLatency: r.MeanChannelLatency,
+				MaxChannelLatency:  r.MaxChannelLatency,
+				TeleporterUtil:     r.TeleporterUtil,
+				GeneratorUtil:      r.GeneratorUtil,
+				PurifierUtil:       r.PurifierUtil,
+			},
+		})
+	}
+	return rows
+}
+
+// TestXYOrderParityWithPreRefactorGolden pins the routing refactor as
+// behavior-preserving by default: a sweep under the default (nil →
+// XYOrder) policy must reproduce testdata/parity_xy.json — captured by
+// the pre-refactor simulator, before routing was pluggable — byte for
+// byte.  The explicit XYOrder policy must match the same bytes.
+func TestXYOrderParityWithPreRefactorGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "parity_xy.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		routings []route.Policy
+	}{
+		{"default", nil},
+		{"explicit-xy", []route.Policy{route.XYOrder()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.MarshalIndent(parityRows(t, tc.routings), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if string(got) != string(want) {
+				t.Errorf("default-policy sweep diverged from the pre-refactor golden output\n got %d bytes\nwant %d bytes\n"+
+					"(the XYOrder policy must keep the refactor behavior-preserving; "+
+					"regenerate testdata/parity_xy.json only for an intentional simulator change)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestRoutingPoliciesDivergeFromXY asserts the other policies are not
+// accidental XY clones and complete the whole space without stalling
+// (the deadlock-freedom property of their turn models): every policy
+// stays minimal (equal pair-hop totals, since all shipped policies
+// route Manhattan-minimal paths), and the static alternatives must
+// produce different timing than dimension order somewhere in the
+// space.  LeastCongested legitimately converges to dimension order
+// when loads tie, so only minimality and completion are asserted for
+// it.
+func TestRoutingPoliciesDivergeFromXY(t *testing.T) {
+	base := parityRows(t, nil)
+	baseTotal := totalExec(base)
+	for _, tc := range []struct {
+		policy     route.Policy
+		mustDiffer bool
+	}{
+		{route.YXOrder(), true},
+		{route.ZigZag(), true},
+		{route.LeastCongested(), false},
+	} {
+		p := tc.policy
+		rows := parityRows(t, []route.Policy{p})
+		if len(rows) != len(base) {
+			t.Fatalf("%s: %d rows, want %d", p.Name(), len(rows), len(base))
+		}
+		for i := range rows {
+			if rows[i].Result.PairHops != base[i].Result.PairHops {
+				t.Errorf("%s row %d: PairHops %d != xy %d (policy is not minimal)",
+					p.Name(), i, rows[i].Result.PairHops, base[i].Result.PairHops)
+			}
+		}
+		if tc.mustDiffer && totalExec(rows) == baseTotal {
+			t.Errorf("%s: total execution identical to xy across the whole space — policy looks like an XY clone", p.Name())
+		}
+	}
+}
+
+func totalExec(rows []parityRow) time.Duration {
+	var total time.Duration
+	for _, r := range rows {
+		total += r.Result.Exec
+	}
+	return total
+}

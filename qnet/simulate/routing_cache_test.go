@@ -1,0 +1,350 @@
+package simulate
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/route"
+)
+
+// TestSweepRoutingDimension expands a multi-policy space and asserts
+// the routing dimension behaves like every other dimension: the point
+// count multiplies, every point carries its policy, distinct policies
+// produce distinct cache keys (so the shared cache can never serve one
+// policy's result for another), and identical keys only ever come from
+// identical policies.
+func TestSweepRoutingDimension(t *testing.T) {
+	grid := testGrid(t, 4)
+	policies := route.Policies()
+	space := Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []Layout{HomeBase},
+		Resources: []Resources{{Teleporters: 8, Generators: 8, Purifiers: 4}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Routings:  policies,
+	}
+	if space.Size() != len(policies) {
+		t.Fatalf("Size() = %d, want %d", space.Size(), len(policies))
+	}
+	cache := NewCache(0)
+	points, err := Sweep(context.Background(), space, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(policies) {
+		t.Fatalf("%d points, want %d", len(points), len(policies))
+	}
+	keys := make(map[Key]string, len(points))
+	for _, pt := range points {
+		if pt.Err != nil {
+			t.Fatalf("%s: %v", pt.Point.RoutingName(), pt.Err)
+		}
+		m, err := space.machine(pt.Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := m.CacheKey(pt.Point.Program)
+		if prev, dup := keys[key]; dup {
+			t.Fatalf("policies %s and %s share cache key %s — cached results would cross policies",
+				prev, pt.Point.RoutingName(), key)
+		}
+		keys[key] = pt.Point.RoutingName()
+	}
+	// Every policy simulated exactly once: all misses, no hits.
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != uint64(len(policies)) {
+		t.Errorf("cache traffic %v, want 0 hits / %d misses", s, len(policies))
+	}
+	// A repeated sweep is served entirely from the cache, per policy.
+	again, err := Sweep(context.Background(), space, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range again {
+		if !pt.Cached {
+			t.Errorf("%s: warm point not served from cache", pt.Point.RoutingName())
+		}
+		if pt.Result != points[i].Result {
+			t.Errorf("%s: warm result differs from cold", pt.Point.RoutingName())
+		}
+	}
+}
+
+// TestSweepRoutingDefaultMatchesExplicitXY asserts the nil default of
+// the routing dimension and an explicit XYOrder produce identical
+// results and identical cache keys.
+func TestSweepRoutingDefaultMatchesExplicitXY(t *testing.T) {
+	grid := testGrid(t, 4)
+	prog := qnet.QFT(grid.Tiles())
+	def, err := New(grid, HomeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy, err := New(grid, HomeBase, WithRouting(route.XYOrder()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.CacheKey(prog) != xy.CacheKey(prog) {
+		t.Error("nil default and explicit XYOrder hash differently")
+	}
+	a, err := def.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := xy.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("nil default and explicit XYOrder produce different results")
+	}
+}
+
+// TestCacheMachineRunConsultsAttachedCache asserts Machine.Run serves
+// warm runs from the cache installed with WithCache: the second run is
+// a hit, returns the identical result, and a Session on the same
+// machine shares the attachment.
+func TestCacheMachineRunConsultsAttachedCache(t *testing.T) {
+	grid := testGrid(t, 4)
+	prog := qnet.QFT(grid.Tiles())
+	cache := NewCache(0)
+	m, err := New(grid, HomeBase, WithResources(8, 8, 4), WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache() != cache {
+		t.Fatal("Cache() does not return the attached cache")
+	}
+	cold, err := m.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after cold run: %v, want 1 miss", s)
+	}
+	warm, err := m.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Error("warm run differs from cold run")
+	}
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Errorf("after warm run: %v, want 1 hit", s)
+	}
+	// Sessions derive distinct per-run seeds; with failure injection
+	// off the key canonicalizes the seed away, so session runs hit the
+	// same entry.
+	if _, err := m.NewSession().Run(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Hits != 2 {
+		t.Errorf("after session run: %v, want 2 hits", s)
+	}
+}
+
+// TestCacheMachineRunDiskWarm asserts the cross-process story behind
+// `qnetsim -cache-dir`: a second machine built on the same directory
+// serves the first machine's result from disk.
+func TestCacheMachineRunDiskWarm(t *testing.T) {
+	grid := testGrid(t, 4)
+	prog := qnet.QFT(grid.Tiles())
+	dir := t.TempDir()
+	cold, err := New(grid, HomeBase, WithResources(8, 8, 4), WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cold.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(grid, HomeBase, WithResources(8, 8, 4), WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := warm.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res {
+		t.Error("disk-warm run differs from the original")
+	}
+	if s := warm.Cache().Stats(); s.Hits != 1 || s.DiskHits != 1 {
+		t.Errorf("warm machine stats %v, want 1 disk hit", s)
+	}
+}
+
+// diskSize sums the store's *.json sizes.
+func diskSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestCacheDiskEvictionByBytes asserts a max-bytes store never
+// outgrows its budget: after many Puts the directory stays under the
+// cap, the survivors are the most recently used entries, and every
+// surviving file still round-trips.
+func TestCacheDiskEvictionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	// Measure one entry's size to pick a budget of ~3 entries.
+	probe, err := NewDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Result{Exec: time.Second, Ops: 1}
+	probe.Put(Key{0xff}, res)
+	entryBytes := diskSize(t, probe.Dir())
+	if entryBytes == 0 {
+		t.Fatal("probe entry has zero size")
+	}
+	budget := 3*entryBytes + entryBytes/2
+
+	c, err := NewDiskCache(dir, 0, WithMaxBytes(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []Key
+	for i := 0; i < 10; i++ {
+		k := Key{byte(i + 1)}
+		keys = append(keys, k)
+		c.Put(k, Result{Exec: time.Duration(i) * time.Second, Ops: i})
+		if got := diskSize(t, dir); got > budget {
+			t.Fatalf("after put %d the store holds %d bytes, budget %d", i, got, budget)
+		}
+	}
+	if s := c.Stats(); s.DiskEvictions == 0 {
+		t.Error("no evictions recorded despite exceeding the budget")
+	}
+	// The newest entry must have survived and still round-trip from a
+	// fresh cache (pure disk read).
+	fresh, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := fresh.Get(keys[9]); !ok || got.Ops != 9 {
+		t.Errorf("newest entry missing after eviction: ok=%v res=%+v", ok, got)
+	}
+}
+
+// TestCacheDiskEvictionByAge asserts a max-age store drops stale
+// entries at construction and keeps fresh ones.
+func TestCacheDiskEvictionByAge(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, fresh := Key{1}, Key{2}
+	writer.Put(stale, Result{Ops: 1})
+	writer.Put(fresh, Result{Ops: 2})
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, stale.String()+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewDiskCache(dir, 0, WithMaxAge(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(stale); ok {
+		t.Error("stale entry survived the age bound")
+	}
+	if got, ok := c.Get(fresh); !ok || got.Ops != 2 {
+		t.Errorf("fresh entry lost: ok=%v res=%+v", ok, got)
+	}
+	if s := c.Stats(); s.DiskEvictions != 1 {
+		t.Errorf("DiskEvictions = %d, want 1", s.DiskEvictions)
+	}
+}
+
+// TestCacheDiskEvictionKeepsRecentlyRead asserts reads refresh the LRU
+// order: an old-but-read entry outlives an old-unread one when the
+// byte budget forces an eviction.
+func TestCacheDiskEvictionKeepsRecentlyRead(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, unread := Key{1}, Key{2}
+	writer.Put(read, Result{Ops: 1})
+	writer.Put(unread, Result{Ops: 2})
+	old := time.Now().Add(-time.Hour)
+	for _, k := range []Key{read, unread} {
+		if err := os.Chtimes(filepath.Join(dir, k.String()+".json"), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := diskSize(t, dir)
+
+	// A budget of ~2 entries; reading `read` through a bounded cache
+	// refreshes its mtime, then one more Put forces an eviction.
+	c, err := NewDiskCache(dir, 0, WithMaxBytes(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(read); !ok {
+		t.Fatal("seed entry missing")
+	}
+	c.Put(Key{3}, Result{Ops: 3})
+
+	fresh, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(read); !ok {
+		t.Error("recently read entry was evicted before the unread one")
+	}
+	if _, ok := fresh.Get(unread); ok {
+		t.Error("unread entry survived while the budget was exceeded")
+	}
+}
+
+// TestCacheDiskEvictionStartupScan asserts a bounded cache opened over
+// an over-budget directory prunes it immediately (the long-lived-store
+// case of ROADMAP's PR 2 follow-on).
+func TestCacheDiskEvictionStartupScan(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		writer.Put(Key{byte(i + 1)}, Result{Ops: i})
+		// Stagger mtimes so LRU order is well defined.
+		ts := time.Now().Add(time.Duration(i-8) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, (Key{byte(i + 1)}).String()+".json"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	budget := diskSize(t, dir) / 2
+	if _, err := NewDiskCache(dir, 0, WithMaxBytes(budget)); err != nil {
+		t.Fatal(err)
+	}
+	if got := diskSize(t, dir); got > budget {
+		t.Errorf("startup scan left %d bytes, budget %d", got, budget)
+	}
+	// The newest entry survives the startup prune.
+	fresh, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(Key{8}); !ok {
+		t.Error("newest entry pruned at startup")
+	}
+}

@@ -18,16 +18,20 @@
 // A Session wraps a Machine for a sequence of runs, deriving a distinct
 // reproducible RNG seed per run and recording every result.  Sweep
 // expands a parameter space (grids × layouts × resources × programs ×
-// depths × seeds) and fans the runs out across worker goroutines — see
-// sweep.go.
+// depths × routing policies × seeds) and fans the runs out across
+// worker goroutines — see sweep.go.  Routing policies come from
+// qnet/route (WithRouting, Space.Routings); the default is the paper's
+// dimension-order routing.
 //
 // Because every run is a pure function of its resolved configuration,
 // results are content-addressable: Machine.CacheKey hashes the full
 // run point and Cache stores Results under it (in-memory LRU plus an
-// optional on-disk JSON store), so a sweep installed with WithCache or
-// WithCacheDir only simulates points it has never seen — see cache.go
-// and the Example_cachedSweep function.  Ensemble statistics over the
-// seed dimension live in the sibling package qnet/stats.
+// optional on-disk JSON store, boundable with WithMaxBytes/WithMaxAge),
+// so a sweep installed with WithCache or WithCacheDir only simulates
+// points it has never seen — see cache.go and the Example_cachedSweep
+// function.  The same options attach a cache to a Machine, making
+// repeated Run and Session calls cache hits too.  Ensemble statistics
+// over the seed dimension live in the sibling package qnet/stats.
 //
 // Configuration mistakes surface as *qnet.ConfigError and capacity
 // overruns as *qnet.CapacityError, matchable with errors.Is/errors.As.
@@ -40,6 +44,7 @@ import (
 	"repro/internal/netsim"
 
 	"repro/qnet"
+	"repro/qnet/route"
 )
 
 // Layout selects the logical-qubit floorplan (Figure 15).
@@ -63,51 +68,77 @@ type Result = netsim.Result
 // analysis.
 type Detail = netsim.Detail
 
+// machineSpec is the mutable state Options apply to: the simulator
+// configuration plus machine-level attachments (the result cache).
+type machineSpec struct {
+	cfg   netsim.Config
+	cache *Cache
+	err   error
+}
+
 // Option configures a Machine.  Options are applied in order over the
 // paper's defaults (depth-3 purifiers, level-2 Steane code, 600-cell
-// hops, t=g=p=16, the Table 1-2 ion-trap device).
-type Option func(*netsim.Config)
+// hops, t=g=p=16, XY dimension-order routing, the Table 1-2 ion-trap
+// device).  WithCache and WithCacheDir implement both Option and
+// SweepOption, so one cache value threads through machines and sweeps
+// alike.
+type Option interface {
+	applyMachine(*machineSpec)
+}
+
+// optionFunc adapts a plain function to the Option interface.
+type optionFunc func(*machineSpec)
+
+func (f optionFunc) applyMachine(s *machineSpec) { f(s) }
 
 // WithParams replaces the device constants (Tables 1 and 2).
 func WithParams(p qnet.Params) Option {
-	return func(c *netsim.Config) { c.Params = p }
+	return optionFunc(func(s *machineSpec) { s.cfg.Params = p })
 }
 
 // WithResources sets the per-node resource counts: t teleporters per T'
 // node, g generators per G node and p queue purifiers per P node.
 func WithResources(t, g, p int) Option {
-	return func(c *netsim.Config) {
-		c.Teleporters, c.Generators, c.Purifiers = t, g, p
-	}
+	return optionFunc(func(s *machineSpec) {
+		s.cfg.Teleporters, s.cfg.Generators, s.cfg.Purifiers = t, g, p
+	})
 }
 
 // WithPurifyDepth sets the queue-purifier tree depth (the paper uses 3:
 // 8 pairs per purified output).
 func WithPurifyDepth(depth int) Option {
-	return func(c *netsim.Config) { c.PurifyDepth = depth }
+	return optionFunc(func(s *machineSpec) { s.cfg.PurifyDepth = depth })
 }
 
 // WithCodeLevel sets the Steane concatenation level of transported
 // logical qubits (the paper uses 2: 49 physical qubits).
 func WithCodeLevel(level int) Option {
-	return func(c *netsim.Config) { c.CodeLevel = level }
+	return optionFunc(func(s *machineSpec) { s.cfg.CodeLevel = level })
 }
 
 // WithHopCells sets the physical span of one mesh hop (the paper derives
 // 600 cells from the latency crossover).
 func WithHopCells(cells int) Option {
-	return func(c *netsim.Config) { c.HopCells = cells }
+	return optionFunc(func(s *machineSpec) { s.cfg.HopCells = cells })
 }
 
 // WithTurnCells sets the in-router ballistic distance paid on X/Y turns.
 func WithTurnCells(cells int) Option {
-	return func(c *netsim.Config) { c.TurnCells = cells }
+	return optionFunc(func(s *machineSpec) { s.cfg.TurnCells = cells })
+}
+
+// WithRouting sets the machine's routing policy — the component that
+// decides each channel's hop path across the mesh (see qnet/route).
+// nil (the default) selects route.XYOrder, the paper's dimension-order
+// routing; distinct policies produce distinct cache keys.
+func WithRouting(p route.Policy) Option {
+	return optionFunc(func(s *machineSpec) { s.cfg.Route = p })
 }
 
 // WithSeed sets the base seed of the machine's per-run RNG.  Two
 // machines with equal configurations and seeds produce identical runs.
 func WithSeed(seed int64) Option {
-	return func(c *netsim.Config) { c.Seed = seed }
+	return optionFunc(func(s *machineSpec) { s.cfg.Seed = seed })
 }
 
 // WithFailureRate injects stochastic purification failure: each batch
@@ -115,25 +146,31 @@ func WithSeed(seed int64) Option {
 // batch is sent through the network.  Zero (the default) keeps the
 // simulation fully deterministic regardless of seed.
 func WithFailureRate(rate float64) Option {
-	return func(c *netsim.Config) { c.PurifyFailureRate = rate }
+	return optionFunc(func(s *machineSpec) { s.cfg.PurifyFailureRate = rate })
 }
 
 // Machine is a configured, validated simulated quantum computer.  It is
 // immutable after New and safe for concurrent use: every Run builds
 // fresh simulator state (including a per-run RNG), so one Machine can
-// serve many goroutines.
+// serve many goroutines.  A Machine built with WithCache or
+// WithCacheDir serves repeated Runs from its result cache.
 type Machine struct {
-	cfg netsim.Config
+	cfg   netsim.Config
+	cache *Cache
 }
 
 // New builds a Machine on the given grid and layout, applying opts over
 // the paper's defaults.  It returns a *qnet.ConfigError describing the
 // first invalid setting.
 func New(grid qnet.Grid, layout Layout, opts ...Option) (*Machine, error) {
-	cfg := netsim.DefaultConfig(grid, layout, 16, 16, 16)
+	spec := machineSpec{cfg: netsim.DefaultConfig(grid, layout, 16, 16, 16)}
 	for _, opt := range opts {
-		opt(&cfg)
+		opt.applyMachine(&spec)
 	}
+	if spec.err != nil {
+		return nil, spec.err
+	}
+	cfg := spec.cfg
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
@@ -143,7 +180,7 @@ func New(grid qnet.Grid, layout Layout, opts ...Option) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, &qnet.ConfigError{Field: "Config", Value: "-", Reason: err.Error()}
 	}
-	return &Machine{cfg: cfg}, nil
+	return &Machine{cfg: cfg, cache: spec.cache}, nil
 }
 
 // validate mirrors netsim.Config.Validate with structured errors, so
@@ -193,8 +230,20 @@ func (m *Machine) Grid() qnet.Grid { return m.cfg.Grid }
 // Layout returns the machine's floorplan policy.
 func (m *Machine) Layout() Layout { return m.cfg.Layout }
 
+// Routing returns the machine's routing policy (nil means the default
+// dimension-order policy; RoutingName canonicalizes).
+func (m *Machine) Routing() route.Policy { return m.cfg.Route }
+
+// RoutingName returns the canonical name of the machine's routing
+// policy ("xy" when none was set explicitly).
+func (m *Machine) RoutingName() string { return route.NameOf(m.cfg.Route) }
+
 // Seed returns the machine's base RNG seed.
 func (m *Machine) Seed() int64 { return m.cfg.Seed }
+
+// Cache returns the machine's attached result cache, or nil when the
+// machine was built without WithCache/WithCacheDir.
+func (m *Machine) Cache() *Cache { return m.cache }
 
 // checkProgram validates prog against the machine's capacity.
 func (m *Machine) checkProgram(prog qnet.Program) error {
@@ -210,14 +259,37 @@ func (m *Machine) checkProgram(prog qnet.Program) error {
 // Run executes one logical instruction stream on the machine.  The
 // context is threaded into the discrete-event loop: when ctx is
 // cancelled or its deadline passes, Run aborts and returns an error
-// wrapping ctx.Err().
+// wrapping ctx.Err().  When the machine carries a result cache
+// (WithCache/WithCacheDir), Run consults it first and stores successful
+// runs back, so a warm re-run of the same configuration and program is
+// a lookup instead of a simulation (Cache().Stats() reports the hit).
 func (m *Machine) Run(ctx context.Context, prog qnet.Program) (Result, error) {
-	res, _, err := m.RunDetailed(ctx, prog)
+	if err := m.checkProgram(prog); err != nil {
+		return Result{}, err
+	}
+	return m.runCached(ctx, m.cfg, prog)
+}
+
+// runCached runs one fully-resolved configuration through the attached
+// cache (a plain simulation when no cache is attached).
+func (m *Machine) runCached(ctx context.Context, cfg netsim.Config, prog qnet.Program) (Result, error) {
+	if m.cache == nil {
+		return netsim.RunContext(ctx, cfg, prog)
+	}
+	key := keyFor(cfg, prog)
+	if res, ok := m.cache.Get(key); ok {
+		return res, nil
+	}
+	res, err := netsim.RunContext(ctx, cfg, prog)
+	if err == nil {
+		m.cache.Put(key, res)
+	}
 	return res, err
 }
 
 // RunDetailed is Run plus per-component statistics for bottleneck
-// analysis and heatmaps.
+// analysis and heatmaps.  It always simulates — Details are not cached
+// — so use Run when only the Result matters.
 func (m *Machine) RunDetailed(ctx context.Context, prog qnet.Program) (Result, *Detail, error) {
 	if err := m.checkProgram(prog); err != nil {
 		return Result{}, nil, err
@@ -226,14 +298,26 @@ func (m *Machine) RunDetailed(ctx context.Context, prog qnet.Program) (Result, *
 }
 
 // runSeeded is Run with the per-run seed overridden (Session and Sweep
-// derive one seed per run from the base seed).
+// derive one seed per run from the base seed); it consults the attached
+// cache like Run does.
 func (m *Machine) runSeeded(ctx context.Context, prog qnet.Program, seed int64) (Result, error) {
 	if err := m.checkProgram(prog); err != nil {
 		return Result{}, err
 	}
 	cfg := m.cfg
 	cfg.Seed = seed
-	return netsim.RunContext(ctx, cfg, prog)
+	return m.runCached(ctx, cfg, prog)
+}
+
+// runUncached bypasses the machine's attached cache: the sweep engine
+// manages its own cache (with single-flight dedup and pure hit
+// accounting), so worker runs must not double-count through a machine
+// cache.
+func (m *Machine) runUncached(ctx context.Context, prog qnet.Program) (Result, error) {
+	if err := m.checkProgram(prog); err != nil {
+		return Result{}, err
+	}
+	return netsim.RunContext(ctx, m.cfg, prog)
 }
 
 // Session runs a sequence of programs on one Machine.  Each run gets a

@@ -98,9 +98,9 @@ func TestNewRejectsBadOptions(t *testing.T) {
 			// simulate rejects must also be invalid to netsim, so a
 			// future relaxation in netsim.Config.Validate that is not
 			// mirrored here fails this test instead of drifting.
-			cfg := netsim.DefaultConfig(grid, netsim.HomeBase, 16, 16, 16)
-			tc.opt(&cfg)
-			if cfg.Validate() == nil {
+			spec := machineSpec{cfg: netsim.DefaultConfig(grid, netsim.HomeBase, 16, 16, 16)}
+			tc.opt.applyMachine(&spec)
+			if spec.cfg.Validate() == nil {
 				t.Errorf("netsim.Config.Validate accepts a config simulate rejects: validators have drifted")
 			}
 		})

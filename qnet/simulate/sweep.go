@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 
 	"repro/qnet"
+	"repro/qnet/route"
 )
 
 // Resources is one per-node resource allocation: t teleporters, g
@@ -87,16 +88,18 @@ func AllocationResources(a Allocation) Resources {
 
 // Space is a parameter grid to sweep: the cross product of every
 // populated dimension.  Grids, Layouts, Resources and Programs are
-// required; Depths defaults to {3} (the paper's purifier depth) and
-// Seeds to {0}.  Options are applied to every machine before the
-// per-point settings, so device parameters, code level, hop length or
-// failure injection can be varied machine-wide.
+// required; Depths defaults to {3} (the paper's purifier depth),
+// Routings to {nil} (dimension-order routing) and Seeds to {0}.
+// Options are applied to every machine before the per-point settings,
+// so device parameters, code level, hop length or failure injection can
+// be varied machine-wide.
 type Space struct {
 	Grids     []qnet.Grid
 	Layouts   []Layout
 	Resources []Resources
 	Programs  []qnet.Program
 	Depths    []int
+	Routings  []route.Policy
 	Seeds     []int64
 	Options   []Option
 }
@@ -107,6 +110,9 @@ func (sp Space) Size() int {
 	if len(sp.Depths) > 0 {
 		n *= len(sp.Depths)
 	}
+	if len(sp.Routings) > 0 {
+		n *= len(sp.Routings)
+	}
 	if len(sp.Seeds) > 0 {
 		n *= len(sp.Seeds)
 	}
@@ -115,7 +121,8 @@ func (sp Space) Size() int {
 
 // Point is one expanded configuration of a Space.  Index is the point's
 // position in the deterministic expansion order (grids ≫ layouts ≫
-// resources ≫ programs ≫ depths ≫ seeds, last dimension fastest).
+// resources ≫ programs ≫ depths ≫ routings ≫ seeds, last dimension
+// fastest).
 type Point struct {
 	Index     int
 	Grid      qnet.Grid
@@ -123,8 +130,14 @@ type Point struct {
 	Resources Resources
 	Program   qnet.Program
 	Depth     int
+	Routing   route.Policy
 	Seed      int64
 }
+
+// RoutingName returns the canonical name of the point's routing policy
+// ("xy" for the nil default), the form cache keys and result grouping
+// use.
+func (p Point) RoutingName() string { return route.NameOf(p.Routing) }
 
 // SweepPoint is one finished run of a sweep: the point, its result, and
 // the error if the run failed (a failed point does not abort the sweep).
@@ -198,6 +211,10 @@ func (sp Space) points() ([]Point, error) {
 	if len(depths) == 0 {
 		depths = []int{3}
 	}
+	routings := sp.Routings
+	if len(routings) == 0 {
+		routings = []route.Policy{nil}
+	}
 	seeds := sp.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{0}
@@ -208,16 +225,19 @@ func (sp Space) points() ([]Point, error) {
 			for _, res := range sp.Resources {
 				for _, prog := range sp.Programs {
 					for _, depth := range depths {
-						for _, seed := range seeds {
-							pts = append(pts, Point{
-								Index:     len(pts),
-								Grid:      grid,
-								Layout:    layout,
-								Resources: res,
-								Program:   prog,
-								Depth:     depth,
-								Seed:      seed,
-							})
+						for _, routing := range routings {
+							for _, seed := range seeds {
+								pts = append(pts, Point{
+									Index:     len(pts),
+									Grid:      grid,
+									Layout:    layout,
+									Resources: res,
+									Program:   prog,
+									Depth:     depth,
+									Routing:   routing,
+									Seed:      seed,
+								})
+							}
 						}
 					}
 				}
@@ -229,30 +249,40 @@ func (sp Space) points() ([]Point, error) {
 
 // machine builds the validated Machine for one point.
 func (sp Space) machine(pt Point) (*Machine, error) {
-	opts := make([]Option, 0, len(sp.Options)+3)
+	opts := make([]Option, 0, len(sp.Options)+4)
 	opts = append(opts, sp.Options...)
 	opts = append(opts,
 		WithResources(pt.Resources.Teleporters, pt.Resources.Generators, pt.Resources.Purifiers),
 		WithPurifyDepth(pt.Depth),
+		WithRouting(pt.Routing),
 		WithSeed(pt.Seed),
 	)
 	return New(pt.Grid, pt.Layout, opts...)
 }
 
-// SweepOption configures a sweep.
-type SweepOption func(*sweepConfig)
+// SweepOption configures a sweep.  WithCache and WithCacheDir satisfy
+// both SweepOption and Option, so the same cache attachment works on a
+// Machine and on a Sweep.
+type SweepOption interface {
+	applySweep(*sweepConfig)
+}
+
+// sweepOptionFunc adapts a plain function to the SweepOption interface.
+type sweepOptionFunc func(*sweepConfig)
+
+func (f sweepOptionFunc) applySweep(c *sweepConfig) { f(c) }
 
 type sweepConfig struct {
 	workers  int
 	progress func(done, total int)
 	cache    *Cache
-	cacheDir string
+	cacheOpt *cacheOption
 }
 
 // WithWorkers sets the worker-goroutine count.  Values below 1 (and the
 // default) mean GOMAXPROCS.
 func WithWorkers(n int) SweepOption {
-	return func(c *sweepConfig) { c.workers = n }
+	return sweepOptionFunc(func(c *sweepConfig) { c.workers = n })
 }
 
 // WithProgress installs a progress callback invoked after every finished
@@ -260,25 +290,73 @@ func WithWorkers(n int) SweepOption {
 // collecting goroutine, so the callback needs no locking; Stream ignores
 // it (the drained channel is the progress signal).
 func WithProgress(fn func(done, total int)) SweepOption {
-	return func(c *sweepConfig) { c.progress = fn }
+	return sweepOptionFunc(func(c *sweepConfig) { c.progress = fn })
+}
+
+// CacheOption attaches a result cache and satisfies both Option (a
+// machine consults the cache on every Run) and SweepOption (the sweep
+// engine consults it with single-flight dedup across workers).  A
+// sweep whose Space.Options carry a CacheOption adopts the machines'
+// cache as its sweep cache, so the attachment works at either level.
+type CacheOption interface {
+	Option
+	SweepOption
+}
+
+// cacheOption is the shared implementation of WithCache/WithCacheDir.
+// The disk-backed variant memoizes its cache, so one WithCacheDir
+// value applied to many machines (e.g. via Space.Options, once per
+// expanded point) builds and shares a single store.
+type cacheOption struct {
+	cache *Cache
+	dir   string
+	once  sync.Once
+	built *Cache
+	err   error
+}
+
+// resolve returns the option's cache, building the disk store on first
+// use.
+func (o *cacheOption) resolve() (*Cache, error) {
+	if o.cache != nil {
+		return o.cache, nil
+	}
+	o.once.Do(func() {
+		o.built, o.err = NewDiskCache(o.dir, 0)
+	})
+	return o.built, o.err
+}
+
+func (o *cacheOption) applyMachine(s *machineSpec) {
+	c, err := o.resolve()
+	if err != nil {
+		s.err = &qnet.ConfigError{Field: "CacheDir", Value: o.dir, Reason: err.Error()}
+		return
+	}
+	s.cache = c
+}
+
+func (o *cacheOption) applySweep(cfg *sweepConfig) {
+	cfg.cacheOpt = o
 }
 
 // WithCache installs a result cache: every point's content hash
 // (Machine.CacheKey) is looked up before simulating, successful runs
 // are stored back, and served points are marked SweepPoint.Cached.  The
-// same cache can be shared across sweeps — and, when built with
-// NewDiskCache, across processes — so regenerating a figure after
+// same cache can be shared across machines and sweeps — and, when built
+// with NewDiskCache, across processes — so regenerating a figure after
 // changing one dimension of its space only simulates the new points.
-func WithCache(c *Cache) SweepOption {
-	return func(cfg *sweepConfig) { cfg.cache = c }
+func WithCache(c *Cache) CacheOption {
+	return &cacheOption{cache: c}
 }
 
 // WithCacheDir is WithCache with a throwaway disk-backed cache rooted
 // at dir (capacity DefaultCacheEntries).  Use NewDiskCache plus
 // WithCache instead when the hit/miss counters are wanted afterwards;
-// Summarize recovers per-sweep hit counts either way.
-func WithCacheDir(dir string) SweepOption {
-	return func(cfg *sweepConfig) { cfg.cacheDir = dir }
+// Summarize recovers per-sweep hit counts either way, and a Machine
+// exposes its cache via Cache().
+func WithCacheDir(dir string) CacheOption {
+	return &cacheOption{dir: dir}
 }
 
 // Sweep expands the space and runs every point, fanning the runs out
@@ -322,7 +400,7 @@ func Stream(ctx context.Context, space Space, opts ...SweepOption) (<-chan Sweep
 func sweepOptions(opts []SweepOption) sweepConfig {
 	var cfg sweepConfig
 	for _, opt := range opts {
-		opt(&cfg)
+		opt.applySweep(&cfg)
 	}
 	if cfg.workers < 1 {
 		cfg.workers = runtime.GOMAXPROCS(0)
@@ -335,8 +413,8 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 	if err != nil {
 		return nil, 0, err
 	}
-	if cfg.cache == nil && cfg.cacheDir != "" {
-		c, err := NewDiskCache(cfg.cacheDir, 0)
+	if cfg.cacheOpt != nil {
+		c, err := cfg.cacheOpt.resolve()
 		if err != nil {
 			return nil, 0, err
 		}
@@ -351,6 +429,18 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 			return nil, 0, err
 		}
 		machines[i] = m
+	}
+	// A cache attached through Space.Options lands on every machine;
+	// adopt it as the sweep cache so those points get the same
+	// single-flight dedup and hit accounting as a WithCache sweep
+	// (workers bypass the machine-level attachment via runUncached).
+	if cfg.cache == nil {
+		for _, m := range machines {
+			if m.cache != nil {
+				cfg.cache = m.cache
+				break
+			}
+		}
 	}
 
 	workers := cfg.workers
@@ -389,7 +479,7 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 					cached bool
 				)
 				if cfg.cache == nil {
-					res, err = machines[i].Run(ctx, pts[i].Program)
+					res, err = machines[i].runUncached(ctx, pts[i].Program)
 				} else {
 					// Claim-first: every point takes the flight for its
 					// key before the (single, counted) cache lookup, so a
@@ -410,7 +500,7 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 						}
 					}
 					if res, cached = cfg.cache.Get(key); !cached {
-						res, err = machines[i].Run(ctx, pts[i].Program)
+						res, err = machines[i].runUncached(ctx, pts[i].Program)
 						if err == nil {
 							cfg.cache.Put(key, res)
 						}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCompareReference pins Welch's t-test against independently
+// computed references: the t statistic and Welch–Satterthwaite df
+// match a direct evaluation of their formulas, and the p-value matches
+// numerical integration of the t density (Simpson's rule, agreeing to
+// ~1e-12).
+func TestCompareReference(t *testing.T) {
+	a := Describe([]float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9,
+		22.1, 22.9, 30.5, 24.5, 26.4, 22.4, 27.9, 24.9, 28.5, 30.3})
+	b := Describe([]float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 21.0, 31.9, 27.9, 25.9,
+		26.2, 21.8, 31.0, 24.6, 25.8, 30.9, 26.8, 26.1, 23.6, 25.6})
+	c := Compare(a, b)
+	if math.Abs(c.T-0.9989431124287369) > 1e-9 {
+		t.Errorf("T = %v, want 0.9989431124287369", c.T)
+	}
+	if math.Abs(c.DF-39.88577766708169) > 1e-9 {
+		t.Errorf("DF = %v, want 39.88577766708169", c.DF)
+	}
+	if math.Abs(c.P-0.3238443104752748) > 1e-9 {
+		t.Errorf("P = %v, want 0.3238443104752748", c.P)
+	}
+	if c.Significant {
+		t.Error("p = 0.32 flagged significant")
+	}
+	if c.DeltaMean <= 0 || c.CohenD <= 0 {
+		t.Errorf("expected positive delta and effect size, got Δ=%v d=%v", c.DeltaMean, c.CohenD)
+	}
+}
+
+// TestCompareSymmetry asserts swapping the ensembles flips the signs
+// of the delta, t and d but leaves the p-value unchanged.
+func TestCompareSymmetry(t *testing.T) {
+	a := Describe([]float64{1, 2, 3, 4, 5})
+	b := Describe([]float64{2, 3, 4, 5, 7})
+	ab, ba := Compare(a, b), Compare(b, a)
+	if ab.DeltaMean != -ba.DeltaMean || ab.T != -ba.T || ab.CohenD != -ba.CohenD {
+		t.Errorf("comparison not antisymmetric: %+v vs %+v", ab, ba)
+	}
+	if math.Abs(ab.P-ba.P) > 1e-14 {
+		t.Errorf("p changed under swap: %v vs %v", ab.P, ba.P)
+	}
+}
+
+// TestCompareLargeEffect asserts clearly separated ensembles come out
+// significant with a large effect size.
+func TestCompareLargeEffect(t *testing.T) {
+	a := Describe([]float64{10.0, 10.1, 9.9, 10.05, 9.95})
+	b := Describe([]float64{12.0, 12.1, 11.9, 12.05, 11.95})
+	c := Compare(a, b)
+	if !c.Significant {
+		t.Errorf("clearly separated ensembles not significant: %v", c)
+	}
+	if c.CohenD < 8 {
+		t.Errorf("CohenD = %v, want a huge effect", c.CohenD)
+	}
+}
+
+// TestCompareDeterministicEnsembles pins the documented degenerate
+// behavior: zero variance on both sides makes the comparison exact.
+func TestCompareDeterministicEnsembles(t *testing.T) {
+	same := Describe([]float64{5, 5, 5})
+	if c := Compare(same, Describe([]float64{5, 5, 5})); c.P != 1 || c.Significant || c.CohenD != 0 {
+		t.Errorf("identical deterministic ensembles: %+v, want p=1 d=0", c)
+	}
+	c := Compare(same, Describe([]float64{6, 6, 6}))
+	if c.P != 0 || !c.Significant {
+		t.Errorf("distinct deterministic ensembles: %+v, want p=0 significant", c)
+	}
+	if !math.IsInf(c.CohenD, 1) {
+		t.Errorf("CohenD = %v, want +Inf for an exact difference", c.CohenD)
+	}
+}
+
+// TestCompareSingleSampleNeverSignificant pins the N<2 guard: one
+// noisy draw per side (Std is 0 for N<2 by construction, which looks
+// exactly like determinism) must never be flagged significant, and
+// must not report an infinite effect size.
+func TestCompareSingleSampleNeverSignificant(t *testing.T) {
+	a := Describe([]float64{10})
+	b := Describe([]float64{12})
+	c := Compare(a, b)
+	if c.P != 1 || c.Significant {
+		t.Errorf("single-sample comparison flagged: %+v, want p=1 not significant", c)
+	}
+	if math.IsInf(c.CohenD, 0) {
+		t.Errorf("CohenD = %v for single samples, want finite", c.CohenD)
+	}
+	// One real ensemble against one draw is equally unsupportable.
+	if c := Compare(Describe([]float64{10, 11, 10.5}), b); c.P != 1 || c.Significant {
+		t.Errorf("ensemble-vs-single comparison flagged: %+v", c)
+	}
+}
+
+// TestCompareOneSidedVariance covers a deterministic baseline against a
+// noisy candidate (common with failure injection off in the baseline).
+func TestCompareOneSidedVariance(t *testing.T) {
+	det := Describe([]float64{10, 10, 10, 10})
+	noisy := Describe([]float64{11, 12, 13, 12})
+	c := Compare(det, noisy)
+	if c.P <= 0 || c.P >= DefaultAlpha {
+		t.Errorf("p = %v, want small but nonzero", c.P)
+	}
+	if !c.Significant {
+		t.Errorf("well separated one-sided-variance pair not significant: %v", c)
+	}
+}
+
+// TestRegIncBetaBounds sanity-checks the continued-fraction incomplete
+// beta at its edges and against the symmetry identity.
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v, want 0", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v, want 1", got)
+	}
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		a, b := 1.7, 4.2
+		if diff := regIncBeta(a, b, x) + regIncBeta(b, a, 1-x) - 1; math.Abs(diff) > 1e-12 {
+			t.Errorf("symmetry violated at x=%v: off by %v", x, diff)
+		}
+	}
+	// I_x(1/2, 1/2) = (2/π)·asin(√x) in closed form.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := 2 / math.Pi * math.Asin(math.Sqrt(x))
+		if got := regIncBeta(0.5, 0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("I_%v(1/2,1/2) = %v, want %v", x, got, want)
+		}
+	}
+}

@@ -186,6 +186,9 @@ type Ensemble struct {
 	// PairHops summarizes total pair-teleportations (the network strain
 	// metric of Figure 11).
 	PairHops Summary
+	// Turns summarizes the total X/Y turns routed through T' nodes —
+	// the metric routing policies trade against congestion.
+	Turns Summary
 	// FailedBatches summarizes purification batches lost to injected
 	// failure.
 	FailedBatches Summary
@@ -215,6 +218,7 @@ func FromResults(results []simulate.Result) Ensemble {
 		ChannelLatency: pick(func(r simulate.Result) float64 { return seconds(r.MeanChannelLatency) }),
 		PairsDelivered: pick(func(r simulate.Result) float64 { return float64(r.PairsDelivered) }),
 		PairHops:       pick(func(r simulate.Result) float64 { return float64(r.PairHops) }),
+		Turns:          pick(func(r simulate.Result) float64 { return float64(r.Turns) }),
 		FailedBatches:  pick(func(r simulate.Result) float64 { return float64(r.FailedBatches) }),
 		TeleporterUtil: pick(func(r simulate.Result) float64 { return r.TeleporterUtil }),
 		GeneratorUtil:  pick(func(r simulate.Result) float64 { return r.GeneratorUtil }),
@@ -252,6 +256,7 @@ type groupKey struct {
 	program   string
 	qubits    int
 	depth     int
+	routing   string
 }
 
 // Group folds a sweep's finished points into one PointEnsemble per
@@ -278,6 +283,7 @@ func Group(points []simulate.SweepPoint) []PointEnsemble {
 			program:   sp.Point.Program.Name,
 			qubits:    sp.Point.Program.Qubits,
 			depth:     sp.Point.Depth,
+			routing:   sp.Point.RoutingName(),
 		}
 		pe, ok := byKey[k]
 		if !ok {

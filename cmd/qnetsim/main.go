@@ -10,6 +10,8 @@
 //	qnetsim -grid 12 -timeout 30s                   # bounded run
 //	qnetsim -route zigzag                           # routing policy (xy, yx, zigzag, least-congested)
 //	qnetsim -cache-dir .qnet                        # warm re-runs hit the result cache
+//	qnetsim -grid 16 -cpuprofile cpu.pprof          # profile the hot loop (go tool pprof cpu.pprof)
+//	qnetsim -grid 16 -memprofile mem.pprof          # heap profile after the run
 //
 // Program files use the instruction-stream format of qnet.ParseProgram:
 //
@@ -23,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +36,12 @@ import (
 )
 
 func main() {
+	// All work happens in realMain so that deferred cleanups — the pprof
+	// profile writers in particular — run before the process exits.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		wl      = flag.String("workload", "qft", "workload: qft, mm or me (ignored with -program)")
 		program = flag.String("program", "", "path to an instruction-stream file (see qnet.ParseProgram)")
@@ -49,8 +59,41 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
 		heatmap = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
 		cache   = flag.String("cache-dir", "", "directory for the on-disk result cache (warm runs are served from it)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile after the simulation to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qnetsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qnetsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// The heap profile is written after the run (deferred), so it
+		// captures the simulator's full allocation profile rather than
+		// startup noise.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qnetsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained memory
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "qnetsim:", err)
+			}
+		}()
+	}
 
 	if err := run(opts{
 		workload: *wl, program: *program, gridN: *gridN, layout: *layout,
@@ -59,8 +102,9 @@ func main() {
 		heatmap: *heatmap, cacheDir: *cache,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qnetsim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 type opts struct {

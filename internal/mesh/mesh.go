@@ -224,6 +224,66 @@ func LinkBetween(a, b Coord) (Link, error) {
 	}
 }
 
+// LinkFrom returns the canonical link crossed by a hop leaving c in
+// direction d: East/South hops own their link, West/North hops use the
+// neighbor's East/South link.  It does not validate that the link lies
+// on the grid; pair it with LinkIndex (which does) or Contains.
+func (g Grid) LinkFrom(c Coord, d Direction) Link {
+	switch d {
+	case East, South:
+		return Link{From: c, Dir: d}
+	case West:
+		return Link{From: Coord{c.X - 1, c.Y}, Dir: East}
+	default: // North
+		return Link{From: Coord{c.X, c.Y - 1}, Dir: South}
+	}
+}
+
+// NumLinks returns the number of links of the grid: (W-1)·H East links
+// plus W·(H-1) South links.
+func (g Grid) NumLinks() int {
+	return (g.Width-1)*g.Height + g.Width*(g.Height-1)
+}
+
+// LinkIndex returns the dense index of a link, in exactly the order
+// Links enumerates them, so a []T of length NumLinks indexed by
+// LinkIndex replaces a map[Link]T on hot lookup paths.  It panics on a
+// link that does not lie on the grid (an off-grid endpoint, or a
+// non-canonical direction), which — like Index — indicates a broken
+// caller rather than a recoverable condition.
+func (g Grid) LinkIndex(l Link) int {
+	c := l.From
+	valid := g.Contains(c)
+	if valid {
+		switch l.Dir {
+		case East:
+			valid = c.X+1 < g.Width
+		case South:
+			valid = c.Y+1 < g.Height
+		default:
+			valid = false
+		}
+	}
+	if !valid {
+		panic(fmt.Sprintf("mesh: link %v/%v not on %dx%d grid", l.From, l.Dir, g.Width, g.Height))
+	}
+	// Links() walks rows in order; every row before c.Y is complete and
+	// contributes (W-1) East + W South links (the South links exist
+	// because that row is above c.Y <= H-1, hence not the last row).
+	idx := c.Y * (2*g.Width - 1)
+	// Tiles before c.X in row c.Y: an East link each (they all precede
+	// the last column, since c.X is on the grid), plus a South link each
+	// when this is not the last row.
+	idx += c.X
+	if c.Y+1 < g.Height {
+		idx += c.X
+	}
+	if l.Dir == South && c.X+1 < g.Width {
+		idx++ // this tile's East link precedes its South link
+	}
+	return idx
+}
+
 // Links enumerates every link of the grid in deterministic order.
 func (g Grid) Links() []Link {
 	links := make([]Link, 0, 2*g.Tiles())

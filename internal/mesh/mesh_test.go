@@ -229,6 +229,65 @@ func TestLinksCount(t *testing.T) {
 	}
 }
 
+func TestLinkIndexMatchesLinksOrder(t *testing.T) {
+	// LinkIndex must agree with Links() enumeration on every grid shape,
+	// including degenerate 1-wide and 1-tall meshes: that equivalence is
+	// what lets netsim swap its map[Link] G-node lookup for a dense slice.
+	for _, dims := range [][2]int{{1, 1}, {1, 5}, {5, 1}, {2, 2}, {4, 3}, {5, 5}, {16, 16}} {
+		g := mustGrid(t, dims[0], dims[1])
+		links := g.Links()
+		if got := g.NumLinks(); got != len(links) {
+			t.Errorf("%dx%d: NumLinks = %d, Links() has %d", dims[0], dims[1], got, len(links))
+		}
+		for i, l := range links {
+			if got := g.LinkIndex(l); got != i {
+				t.Errorf("%dx%d: LinkIndex(%v/%v) = %d, want %d", dims[0], dims[1], l.From, l.Dir, got, i)
+			}
+		}
+	}
+}
+
+func TestLinkIndexPanicsOffGrid(t *testing.T) {
+	g := mustGrid(t, 3, 3)
+	for _, l := range []Link{
+		{From: Coord{2, 0}, Dir: East},  // off the east edge
+		{From: Coord{0, 2}, Dir: South}, // off the south edge
+		{From: Coord{3, 0}, Dir: East},  // source outside
+		{From: Coord{1, 1}, Dir: West},  // non-canonical orientation
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LinkIndex(%v/%v) should panic", l.From, l.Dir)
+				}
+			}()
+			g.LinkIndex(l)
+		}()
+	}
+}
+
+func TestLinkFromMatchesLinkBetween(t *testing.T) {
+	// For every on-grid hop, LinkFrom must produce the same canonical
+	// link LinkBetween derives from the two endpoints.
+	g := mustGrid(t, 4, 3)
+	for i := 0; i < g.Tiles(); i++ {
+		c := g.CoordOf(i)
+		for _, d := range []Direction{East, West, North, South} {
+			n := c.Step(d)
+			if !g.Contains(n) {
+				continue
+			}
+			want, err := LinkBetween(c, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.LinkFrom(c, d); got != want {
+				t.Errorf("LinkFrom(%v, %v) = %+v, want %+v", c, d, got, want)
+			}
+		}
+	}
+}
+
 func TestRowMajorPlacement(t *testing.T) {
 	g := mustGrid(t, 4, 4)
 	p, err := RowMajorPlacement(g, 16)

@@ -31,17 +31,32 @@ func (s *simulator) channel(src, dst mesh.Coord, done func()) {
 
 	// The routing policy decides the hop path at setup time; adaptive
 	// policies see the routers' live loads through the loads adapter.
-	dirs, err := s.policy.Route(s.cfg.Grid, src, dst, loads{s})
-	if err != nil {
-		panic(err) // placements are validated against the grid
+	// Deterministic policies answer repeated (src, dst) pairs from the
+	// per-run route cache, skipping the policy call, the Follow
+	// validation walk and both slice allocations.
+	srcIdx, dstIdx := s.cfg.Grid.Index(src), s.cfg.Grid.Index(dst)
+	var dirs []mesh.Direction
+	var tiles []mesh.Coord
+	if s.routes != nil {
+		dirs, tiles = s.routes.get(srcIdx, dstIdx)
 	}
-	tiles, err := s.cfg.Grid.Follow(src, dirs)
-	if err != nil {
-		panic(err) // a policy that walks off the mesh is a policy bug
-	}
-	if tiles[len(tiles)-1] != dst {
-		panic(fmt.Sprintf("netsim: policy %q routed %v to %v, want %v",
-			s.policy.Name(), src, tiles[len(tiles)-1], dst))
+	if dirs == nil {
+		var err error
+		dirs, err = s.policy.Route(s.cfg.Grid, src, dst, loads{s})
+		if err != nil {
+			panic(err) // placements are validated against the grid
+		}
+		tiles, err = s.cfg.Grid.Follow(src, dirs)
+		if err != nil {
+			panic(err) // a policy that walks off the mesh is a policy bug
+		}
+		if tiles[len(tiles)-1] != dst {
+			panic(fmt.Sprintf("netsim: policy %q routed %v to %v, want %v",
+				s.policy.Name(), src, tiles[len(tiles)-1], dst))
+		}
+		if s.routes != nil {
+			s.routes.put(srcIdx, dstIdx, dirs, tiles)
+		}
 	}
 
 	ch := &channelRun{
@@ -83,12 +98,9 @@ func (ch *channelRun) hop(i int) {
 	// opposite direction of travel.
 	store := s.nodes[s.cfg.Grid.Index(to)].Storage(dir.Opposite())
 	store.Acquire(func() {
-		// Link pairs from the G node of the crossed link.
-		link, err := mesh.LinkBetween(from, to)
-		if err != nil {
-			panic(err)
-		}
-		g := s.gnodes[link]
+		// Link pairs from the G node of the crossed link: a dense-slice
+		// lookup via the canonical link index, no map hashing.
+		g := s.gnodes[s.cfg.Grid.LinkIndex(s.cfg.Grid.LinkFrom(from, dir))]
 		g.Serve(s.genLatency(), func() {
 			// Teleporter from the sending node's directional set, plus a
 			// turn penalty when the route changes axis at this node.
@@ -239,12 +251,11 @@ func (s *simulator) result(prog workload.Program) Result {
 	}
 	res.TeleporterUtil = tu / float64(len(s.nodes))
 	var gu float64
-	links := s.cfg.Grid.Links() // deterministic order (map iteration is not)
-	for _, l := range links {
-		gu += s.gnodes[l].Utilization()
+	for _, g := range s.gnodes {
+		gu += g.Utilization()
 	}
-	if len(links) > 0 {
-		res.GeneratorUtil = gu / float64(len(links))
+	if len(s.gnodes) > 0 {
+		res.GeneratorUtil = gu / float64(len(s.gnodes))
 	}
 	var pu float64
 	for _, p := range s.purify {

@@ -67,10 +67,11 @@ func RunDetailedContext(ctx context.Context, cfg Config, prog workload.Program) 
 	for i, p := range s.purify {
 		d.PurifierUtil[i] = p.Utilization()
 	}
-	links := cfg.Grid.Links()
-	d.GeneratorUtil = make([]float64, len(links))
-	for i, l := range links {
-		d.GeneratorUtil[i] = s.gnodes[l].Utilization()
+	// s.gnodes is indexed by mesh.Grid.LinkIndex, which is exactly the
+	// Links() enumeration order Detail documents.
+	d.GeneratorUtil = make([]float64, len(s.gnodes))
+	for i, g := range s.gnodes {
+		d.GeneratorUtil[i] = g.Utilization()
 	}
 	return s.result(prog), d, nil
 }

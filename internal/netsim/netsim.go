@@ -207,12 +207,15 @@ type Result struct {
 
 // simulator carries the live state of one run.
 type simulator struct {
-	cfg     Config
-	policy  route.Policy
+	cfg    Config
+	policy route.Policy
+	// routes memoizes the hop paths of a deterministic policy; nil for
+	// adaptive policies (which must re-consult live loads per channel).
+	routes  *routeCache
 	engine  *sim.Engine
-	nodes   []*router.Node              // per tile
-	purify  []*sim.Resource             // per tile P node
-	gnodes  map[mesh.Link]*sim.Resource // per link G node
+	nodes   []*router.Node  // per tile
+	purify  []*sim.Resource // per tile P node
+	gnodes  []*sim.Resource // per link G node, indexed by mesh.Grid.LinkIndex
 	net     *classical.Network
 	sch     *sched.Scheduler
 	place   *mesh.Placement
@@ -272,6 +275,13 @@ func (s *simulator) build(prog workload.Program) error {
 	if s.policy == nil {
 		s.policy = route.Default()
 	}
+	if route.IsDeterministic(s.policy) {
+		// A deterministic policy answers every (src, dst) pair the same
+		// way for the whole run, so its paths are resolved once and
+		// replayed from the cache; adaptive policies (consulting live
+		// loads) transparently bypass it.
+		s.routes = newRouteCache(cfg.Grid.Tiles())
+	}
 	s.code = code
 	s.numBatches = code.PairsPerLogicalTeleport()
 
@@ -320,22 +330,30 @@ func (s *simulator) build(prog workload.Program) error {
 		s.nodes[i] = node
 	}
 
+	// P and G node names resolve lazily (first Name() call): a 16x16 run
+	// builds 256 purifier resources and 480 generator resources, and
+	// eagerly fmt.Sprintf-ing a name for each was pure build-path waste —
+	// names are only read in error messages and statistics reports.
 	s.purify = make([]*sim.Resource, cfg.Grid.Tiles())
 	for i := range s.purify {
-		r, err := sim.NewResource(s.engine, fmt.Sprintf("P%v", cfg.Grid.CoordOf(i)), cfg.Purifiers)
+		c := cfg.Grid.CoordOf(i)
+		r, err := sim.NewLazyResource(s.engine, func() string { return fmt.Sprintf("P%v", c) }, cfg.Purifiers)
 		if err != nil {
 			return err
 		}
 		s.purify[i] = r
 	}
 
-	s.gnodes = make(map[mesh.Link]*sim.Resource, 2*cfg.Grid.Tiles())
-	for _, l := range cfg.Grid.Links() {
-		r, err := sim.NewResource(s.engine, fmt.Sprintf("G%v%v", l.From, l.Dir), cfg.Generators)
+	// G nodes live in a dense slice indexed by mesh.Grid.LinkIndex (the
+	// Links() enumeration order), replacing the former map[mesh.Link]
+	// lookup on the per-hop hot path.
+	s.gnodes = make([]*sim.Resource, cfg.Grid.NumLinks())
+	for i, l := range cfg.Grid.Links() {
+		r, err := sim.NewLazyResource(s.engine, func() string { return fmt.Sprintf("G%v%v", l.From, l.Dir) }, cfg.Generators)
 		if err != nil {
 			return err
 		}
-		s.gnodes[l] = r
+		s.gnodes[i] = r
 	}
 
 	s.net, err = classical.NewNetwork(cfg.Params, cfg.HopCells)
@@ -364,6 +382,15 @@ func (s *simulator) build(prog workload.Program) error {
 		s.lastOp[op.A] = k
 		s.lastOp[op.B] = k
 	}
+
+	// Pre-size the event queue for the expected in-flight batch volume:
+	// every concurrently open channel keeps roughly one scheduled event
+	// per batch in flight (batches waiting on a resource sit in that
+	// resource's queue, not the engine heap), and the number of open
+	// channels is bounded by the qubits that can be mid-operation at
+	// once.  One Reserve here replaces the heap/arena's early doubling
+	// reallocations with a single allocation.
+	s.engine.Reserve(prog.Qubits*s.numBatches + 64)
 	return nil
 }
 

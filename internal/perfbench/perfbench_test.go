@@ -1,0 +1,24 @@
+package perfbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkEngineSchedule(b *testing.B) { EngineSchedule(b) }
+
+func BenchmarkEngineCancel(b *testing.B) {
+	for _, n := range CancelPendingSizes {
+		b.Run(fmt.Sprintf("pending=%d", n), EngineCancel(n))
+	}
+}
+
+func BenchmarkQFT(b *testing.B) {
+	for _, cfg := range FullRunConfigs() {
+		b.Run(cfg.Name, QFTRun(cfg.Layout, cfg.Policy))
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	b.Run("workers=8", SweepWorkers(8))
+}

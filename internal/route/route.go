@@ -76,6 +76,27 @@ type Policy interface {
 	Route(g mesh.Grid, src, dst mesh.Coord, loads Loads) ([]mesh.Direction, error)
 }
 
+// Deterministic is the optional capability interface a Policy
+// implements to declare that its routes depend only on (grid, src,
+// dst) — never on the live Loads.  Such a policy answers every
+// repeated (src, dst) query identically, so the simulator memoizes its
+// paths in a per-run route cache instead of re-running it for every
+// channel.  A policy that consults Loads (e.g. LeastCongested) must
+// not implement it — or must return false — and transparently bypasses
+// the cache.
+type Deterministic interface {
+	// Deterministic reports whether Route ignores its Loads argument.
+	Deterministic() bool
+}
+
+// IsDeterministic reports whether p declares load-independence through
+// the Deterministic capability interface.  Policies without the method
+// are conservatively treated as adaptive (not cacheable).
+func IsDeterministic(p Policy) bool {
+	d, ok := p.(Deterministic)
+	return ok && d.Deterministic()
+}
+
 // DefaultName is the canonical name of the default policy (dimension
 // order, the paper's hardwired choice).
 const DefaultName = "xy"
@@ -135,6 +156,9 @@ func XYOrder() Policy { return xyOrder{} }
 // Name returns "xy".
 func (xyOrder) Name() string { return "xy" }
 
+// Deterministic reports that dimension-order routes ignore live loads.
+func (xyOrder) Deterministic() bool { return true }
+
 // Route produces the X-then-Y dimension-order path.
 func (xyOrder) Route(g mesh.Grid, src, dst mesh.Coord, _ Loads) ([]mesh.Direction, error) {
 	// mesh.Grid.Route is the dimension-order reference implementation;
@@ -153,6 +177,10 @@ func YXOrder() Policy { return yxOrder{} }
 
 // Name returns "yx".
 func (yxOrder) Name() string { return "yx" }
+
+// Deterministic reports that mirrored dimension-order routes ignore
+// live loads.
+func (yxOrder) Deterministic() bool { return true }
 
 // Route produces the Y-then-X dimension-order path.
 func (yxOrder) Route(g mesh.Grid, src, dst mesh.Coord, _ Loads) ([]mesh.Direction, error) {
@@ -193,6 +221,9 @@ func ZigZag() Policy { return zigZag{} }
 
 // Name returns "zigzag".
 func (zigZag) Name() string { return "zigzag" }
+
+// Deterministic reports that staircase routes ignore live loads.
+func (zigZag) Deterministic() bool { return true }
 
 // Route produces the alternating staircase path.
 func (zigZag) Route(g mesh.Grid, src, dst mesh.Coord, _ Loads) ([]mesh.Direction, error) {

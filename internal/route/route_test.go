@@ -258,3 +258,27 @@ func TestRouteValidatesEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestDeterministicCapability pins which shipped policies declare
+// load-independence: the static orders are cacheable, the adaptive
+// least-congested policy is not.  Getting this wrong either disables
+// the simulator's route cache (slow) or caches an adaptive policy's
+// first answer (wrong results), so it is pinned explicitly.
+func TestDeterministicCapability(t *testing.T) {
+	for _, tc := range []struct {
+		p    Policy
+		want bool
+	}{
+		{XYOrder(), true},
+		{YXOrder(), true},
+		{ZigZag(), true},
+		{LeastCongested(), false},
+	} {
+		if got := IsDeterministic(tc.p); got != tc.want {
+			t.Errorf("IsDeterministic(%s) = %v, want %v", tc.p.Name(), got, tc.want)
+		}
+	}
+	if IsDeterministic(nil) {
+		t.Error("IsDeterministic(nil) should be false")
+	}
+}

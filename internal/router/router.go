@@ -18,9 +18,12 @@ import (
 // Node is one T' node's contended hardware: two teleporter sets and
 // per-incoming-link storage.
 type Node struct {
-	coord   mesh.Coord
-	sets    [2]*sim.Resource
-	storage map[mesh.Direction]*sim.Semaphore
+	coord mesh.Coord
+	sets  [2]*sim.Resource
+	// storage is indexed by the incoming mesh.Direction (a dense 0..3
+	// enum); border tiles leave the missing directions nil.  An array
+	// keeps the per-hop storage lookup free of map hashing.
+	storage [4]*sim.Semaphore
 	params  phys.Params
 
 	turns     uint64
@@ -60,19 +63,29 @@ func New(engine *sim.Engine, coord mesh.Coord, incoming []mesh.Direction, cfg Co
 	}
 	n := &Node{
 		coord:     coord,
-		storage:   make(map[mesh.Direction]*sim.Semaphore, len(incoming)),
 		params:    cfg.Params,
 		turnCells: cfg.TurnCells,
 	}
+	// Names resolve lazily: a simulator builds two resources and up to
+	// four semaphores per tile, and their names are only ever read on
+	// error paths or in statistics reports, so the fmt.Sprintf cost
+	// stays off the build path.
 	for axis := 0; axis < 2; axis++ {
-		r, err := sim.NewResource(engine, fmt.Sprintf("T'%v/axis%d", coord, axis), perSet)
+		r, err := sim.NewLazyResource(engine, func() string {
+			return fmt.Sprintf("T'%v/axis%d", coord, axis)
+		}, perSet)
 		if err != nil {
 			return nil, err
 		}
 		n.sets[axis] = r
 	}
 	for _, d := range incoming {
-		s, err := sim.NewSemaphore(fmt.Sprintf("storage%v/%v", coord, d), cfg.StorageUnits)
+		if d < 0 || int(d) >= len(n.storage) {
+			return nil, fmt.Errorf("router: node %v has invalid incoming direction %v", coord, d)
+		}
+		s, err := sim.NewLazySemaphore(func() string {
+			return fmt.Sprintf("storage%v/%v", coord, d)
+		}, cfg.StorageUnits)
 		if err != nil {
 			return nil, err
 		}
@@ -94,8 +107,12 @@ func (n *Node) TeleporterSet(axis int) *sim.Resource {
 }
 
 // Storage returns the incoming-storage semaphore for traffic arriving
-// from the given direction, or nil when the node has no link there.
+// from the given direction, or nil when the node has no link there (or
+// the direction is not one of the four mesh directions).
 func (n *Node) Storage(fromDir mesh.Direction) *sim.Semaphore {
+	if fromDir < 0 || int(fromDir) >= len(n.storage) {
+		return nil
+	}
 	return n.storage[fromDir]
 }
 
@@ -114,7 +131,7 @@ func (n *Node) AxisLoad(axis int) float64 {
 // queued acquirers over the storage limit (0 when the node has no link
 // there).  Like AxisLoad it exceeds 1 under backlog.
 func (n *Node) StorageLoad(fromDir mesh.Direction) float64 {
-	s := n.storage[fromDir]
+	s := n.Storage(fromDir)
 	if s == nil {
 		return 0
 	}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextBudgetExactlyAtCheckInterval pins the off-by-one-prone
+// interaction of the event budget with the periodic context check: a
+// budget of exactly ctxCheckInterval on a live context must execute
+// exactly that many events and report no error.
+func TestRunContextBudgetExactlyAtCheckInterval(t *testing.T) {
+	e := New()
+	var scheduled func()
+	scheduled = func() { e.Schedule(time.Nanosecond, scheduled) }
+	e.Schedule(0, scheduled)
+	n, err := e.RunContext(context.Background(), ctxCheckInterval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != ctxCheckInterval {
+		t.Errorf("executed %d events, want exactly %d", n, ctxCheckInterval)
+	}
+}
+
+// TestRunContextCancelLandsOnCheckBoundary cancels the context from
+// inside the event immediately preceding the periodic check, so the
+// very next loop iteration must observe it: the run stops having
+// executed ctxCheckInterval-1 events, with the remaining events intact.
+func TestRunContextCancelLandsOnCheckBoundary(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	total := ctxCheckInterval + 16
+	ran := 0
+	for i := 0; i < total; i++ {
+		i := i
+		e.Schedule(time.Duration(i)*time.Microsecond, func() {
+			ran++
+			// The check fires before executing event index
+			// ctxCheckInterval-1, so cancelling in the previous event is
+			// the tightest cancellation the loop can observe.
+			if i == ctxCheckInterval-2 {
+				cancel()
+			}
+		})
+	}
+	n, err := e.RunContext(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != ctxCheckInterval-1 {
+		t.Errorf("executed %d events, want %d (cancelled exactly at the check)", n, ctxCheckInterval-1)
+	}
+	if int(n) != ran {
+		t.Errorf("returned count %d != callback count %d", n, ran)
+	}
+	if e.Pending() != total-int(n) {
+		t.Errorf("pending = %d, want %d (engine left intact)", e.Pending(), total-int(n))
+	}
+}
+
+// TestRunContextSkipsTombstonedHead cancels the earliest pending event
+// and then runs under a context: the tombstone must be discarded
+// without counting toward the executed total or advancing the clock to
+// its time.
+func TestRunContextSkipsTombstonedHead(t *testing.T) {
+	e := New()
+	id := e.Schedule(time.Microsecond, func() { t.Error("cancelled head event ran") })
+	var at time.Duration
+	e.Schedule(5*time.Microsecond, func() { at = e.Now() })
+	if !e.Cancel(id) {
+		t.Fatal("cancel failed")
+	}
+	n, err := e.RunContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("executed %d events, want 1 (tombstone must not count)", n)
+	}
+	if at != 5*time.Microsecond {
+		t.Errorf("surviving event ran at %v, want 5µs", at)
+	}
+}
+
+// TestRunUntilWithTombstonedHead covers RunUntil against a cancelled
+// event at the front of the queue, in both positions relative to the
+// horizon: the tombstone must neither run nor stop the live event
+// behind it, and a tombstone-only queue must still advance the clock to
+// exactly t.
+func TestRunUntilWithTombstonedHead(t *testing.T) {
+	t.Run("live event within horizon", func(t *testing.T) {
+		e := New()
+		id := e.Schedule(time.Microsecond, func() { t.Error("cancelled event ran") })
+		ran := false
+		e.Schedule(2*time.Microsecond, func() { ran = true })
+		e.Cancel(id)
+		e.RunUntil(3 * time.Microsecond)
+		if !ran {
+			t.Error("live event behind the tombstone never ran")
+		}
+		if e.Now() != 3*time.Microsecond {
+			t.Errorf("clock = %v, want 3µs", e.Now())
+		}
+	})
+	t.Run("live event beyond horizon", func(t *testing.T) {
+		e := New()
+		id := e.Schedule(time.Microsecond, func() { t.Error("cancelled event ran") })
+		e.Schedule(5*time.Microsecond, func() { t.Error("event beyond horizon ran") })
+		e.Cancel(id)
+		e.RunUntil(3 * time.Microsecond)
+		if e.Now() != 3*time.Microsecond {
+			t.Errorf("clock = %v, want 3µs (not the tombstone's 1µs)", e.Now())
+		}
+		if e.Pending() != 1 {
+			t.Errorf("pending = %d, want 1", e.Pending())
+		}
+	})
+	t.Run("only tombstones pending", func(t *testing.T) {
+		e := New()
+		id := e.Schedule(time.Microsecond, func() {})
+		e.Cancel(id)
+		e.RunUntil(2 * time.Microsecond)
+		if e.Now() != 2*time.Microsecond {
+			t.Errorf("clock = %v, want 2µs", e.Now())
+		}
+		if e.Pending() != 0 {
+			t.Errorf("pending = %d, want 0", e.Pending())
+		}
+	})
+}
+
+// TestScheduleCallOrdersWithSchedule verifies the allocation-free
+// ScheduleCall form shares the engine's FIFO ordering with Schedule:
+// interleaved calls at one instant run in scheduling order.
+func TestScheduleCallOrdersWithSchedule(t *testing.T) {
+	e := New()
+	var order []int
+	appendLabel := func(a any) { order = append(order, a.(int)) }
+	e.Schedule(time.Microsecond, func() { order = append(order, 0) })
+	e.ScheduleCall(time.Microsecond, appendLabel, 1)
+	e.Schedule(time.Microsecond, func() { order = append(order, 2) })
+	e.ScheduleCall(time.Microsecond, appendLabel, 3)
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v, want [0 1 2 3]", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("ran %d events, want 4", len(order))
+	}
+}
+
+// TestScheduleCallPanicsOnNilFunc mirrors Schedule's nil-function
+// contract for the call form.
+func TestScheduleCallPanicsOnNilFunc(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event function should panic")
+		}
+	}()
+	e.ScheduleCall(0, nil, nil)
+}
+
+// TestCancelStaleAndForeignIDs covers the O(1) validity check: zero
+// IDs, never-issued IDs and IDs from executed events must all report
+// false without disturbing the queue.
+func TestCancelStaleAndForeignIDs(t *testing.T) {
+	e := New()
+	if e.Cancel(0) {
+		t.Error("Cancel(0) should fail")
+	}
+	if e.Cancel(EventID(1<<40 | 7)) {
+		t.Error("Cancel of a never-issued ID should fail")
+	}
+	id := e.Schedule(time.Microsecond, func() {})
+	e.Run(0)
+	if e.Cancel(id) {
+		t.Error("Cancel of an executed event should fail")
+	}
+	// A recycled slot must not honor the old handle: the next event
+	// reuses the executed event's arena slot under a new generation.
+	id2 := e.Schedule(time.Microsecond, func() {})
+	if e.Cancel(id) {
+		t.Error("stale handle cancelled a recycled slot's new occupant")
+	}
+	if !e.Cancel(id2) {
+		t.Error("fresh handle should cancel its own event")
+	}
+}
+
+// TestReserveMakesSchedulingAllocationFree pins the arena design's
+// core promise: after Reserve covers the backlog, a schedule/step
+// cycle performs zero heap allocations.
+func TestReserveMakesSchedulingAllocationFree(t *testing.T) {
+	e := New()
+	e.Reserve(512)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 256; i++ {
+			e.Schedule(time.Duration(i+1)*time.Microsecond, fn)
+		}
+		for e.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("schedule/step cycle allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestReserveNeverShrinks documents that a smaller Reserve is a no-op.
+func TestReserveNeverShrinks(t *testing.T) {
+	e := New()
+	e.Reserve(256)
+	heapCap, arenaCap := cap(e.heap), cap(e.arena)
+	e.Reserve(16)
+	if cap(e.heap) != heapCap || cap(e.arena) != arenaCap {
+		t.Errorf("Reserve(16) changed capacities %d/%d to %d/%d",
+			heapCap, arenaCap, cap(e.heap), cap(e.arena))
+	}
+}

@@ -15,16 +15,40 @@ import (
 // exactly once (typically after scheduling the service latency).
 type Resource struct {
 	name     string
+	nameFn   func() string
 	engine   *Engine
 	capacity int
 	inUse    int
-	waiting  []func()
+	waiting  []waiter
+
+	// freeJobs recycles the per-Serve bookkeeping records, so the
+	// acquire-serve-release pattern allocates nothing in steady state.
+	freeJobs *serveJob
 
 	// Statistics.
 	acquired   uint64
 	maxQueue   int
 	busyTime   time.Duration
 	lastChange time.Duration
+}
+
+// waiter is one queued acquirer: either a plain Acquire callback or a
+// Serve job record.  Exactly one field is set.
+type waiter struct {
+	fn  func()
+	job *serveJob
+}
+
+// serveJob is the reusable record of one Serve call: the service
+// latency to hold the unit for and the completion callback.  Records
+// cycle through the owning resource's free list, and the scheduled
+// completion event carries the record as its argument, so a Serve
+// performs no per-call allocation.
+type serveJob struct {
+	r       *Resource
+	latency time.Duration
+	done    func()
+	next    *serveJob // free-list link
 }
 
 // NewResource creates a resource with the given unit count.
@@ -38,8 +62,32 @@ func NewResource(engine *Engine, name string, capacity int) (*Resource, error) {
 	return &Resource{name: name, engine: engine, capacity: capacity}, nil
 }
 
-// Name returns the resource's name.
-func (r *Resource) Name() string { return r.name }
+// NewLazyResource is NewResource with deferred naming: name is called at
+// most once, the first time the resource's name is actually needed (an
+// error message, a statistics report).  Simulators that build thousands
+// of resources per run use it to keep name formatting off the build
+// path.
+func NewLazyResource(engine *Engine, name func() string, capacity int) (*Resource, error) {
+	if name == nil {
+		return nil, fmt.Errorf("sim: lazy resource needs a name function")
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("sim: resource needs an engine")
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("sim: resource capacity must be >= 1, got %d", capacity)
+	}
+	return &Resource{nameFn: name, engine: engine, capacity: capacity}, nil
+}
+
+// Name returns the resource's name, resolving a lazy name on first use.
+func (r *Resource) Name() string {
+	if r.name == "" && r.nameFn != nil {
+		r.name = r.nameFn()
+		r.nameFn = nil
+	}
+	return r.name
+}
 
 // Capacity returns the number of units.
 func (r *Resource) Capacity() int { return r.capacity }
@@ -54,49 +102,95 @@ func (r *Resource) QueueLen() int { return len(r.waiting) }
 // is free now, job runs synchronously.
 func (r *Resource) Acquire(job func()) {
 	if job == nil {
-		panic(fmt.Sprintf("sim: resource %q: nil job", r.name))
+		panic(fmt.Sprintf("sim: resource %q: nil job", r.Name()))
 	}
 	if r.inUse < r.capacity {
 		r.grab()
 		job()
 		return
 	}
-	r.waiting = append(r.waiting, job)
-	if len(r.waiting) > r.maxQueue {
-		r.maxQueue = len(r.waiting)
-	}
+	r.enqueue(waiter{fn: job})
 }
 
 // Release frees a unit, immediately handing it to the oldest waiting job
 // if any.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
-		panic(fmt.Sprintf("sim: resource %q released more than acquired", r.name))
+		panic(fmt.Sprintf("sim: resource %q released more than acquired", r.Name()))
 	}
 	r.accountBusy()
 	r.inUse--
 	if len(r.waiting) == 0 {
 		return
 	}
-	job := r.waiting[0]
+	w := r.waiting[0]
 	copy(r.waiting, r.waiting[1:])
-	r.waiting[len(r.waiting)-1] = nil
+	r.waiting[len(r.waiting)-1] = waiter{}
 	r.waiting = r.waiting[:len(r.waiting)-1]
 	r.grab()
-	job()
+	if w.fn != nil {
+		w.fn()
+	} else {
+		w.job.start()
+	}
 }
 
 // Serve is the common acquire-serve-release pattern: wait for a unit,
 // hold it for latency of simulated time, then run done (may be nil).
+// Unlike hand-rolling Acquire+Schedule+Release, Serve allocates nothing
+// in steady state: its bookkeeping record is recycled through a free
+// list and the completion event captures no closure.
 func (r *Resource) Serve(latency time.Duration, done func()) {
-	r.Acquire(func() {
-		r.engine.Schedule(latency, func() {
-			r.Release()
-			if done != nil {
-				done()
-			}
-		})
-	})
+	j := r.newJob(latency, done)
+	if r.inUse < r.capacity {
+		r.grab()
+		j.start()
+		return
+	}
+	r.enqueue(waiter{job: j})
+}
+
+// enqueue appends a waiter and tracks the queue high-water mark.
+func (r *Resource) enqueue(w waiter) {
+	r.waiting = append(r.waiting, w)
+	if len(r.waiting) > r.maxQueue {
+		r.maxQueue = len(r.waiting)
+	}
+}
+
+// newJob takes a serve record off the free list (or mints one) and
+// fills it for this call.
+func (r *Resource) newJob(latency time.Duration, done func()) *serveJob {
+	j := r.freeJobs
+	if j != nil {
+		r.freeJobs = j.next
+		j.next = nil
+	} else {
+		j = &serveJob{r: r}
+	}
+	j.latency, j.done = latency, done
+	return j
+}
+
+// start schedules the job's completion after its service latency; the
+// unit has just been granted.
+func (j *serveJob) start() {
+	j.r.engine.ScheduleCall(j.latency, serveComplete, j)
+}
+
+// serveComplete is the completion event of a Serve: release the unit,
+// then run the caller's continuation.  It is a package-level function so
+// scheduling it captures no closure.
+func serveComplete(a any) {
+	j := a.(*serveJob)
+	r, done := j.r, j.done
+	j.done = nil
+	j.next = r.freeJobs
+	r.freeJobs = j
+	r.Release()
+	if done != nil {
+		done()
+	}
 }
 
 func (r *Resource) grab() {

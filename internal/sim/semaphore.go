@@ -8,6 +8,7 @@ import "fmt"
 // take and return credits explicitly.
 type Semaphore struct {
 	name    string
+	nameFn  func() string
 	credits int
 	limit   int
 	waiting []func()
@@ -22,8 +23,28 @@ func NewSemaphore(name string, limit int) (*Semaphore, error) {
 	return &Semaphore{name: name, credits: limit, limit: limit}, nil
 }
 
-// Name returns the semaphore's name.
-func (s *Semaphore) Name() string { return s.name }
+// NewLazySemaphore is NewSemaphore with deferred naming: name is called
+// at most once, the first time the semaphore's name is actually needed.
+// Builders that create one semaphore per mesh link use it to keep name
+// formatting off the build path.
+func NewLazySemaphore(name func() string, limit int) (*Semaphore, error) {
+	if name == nil {
+		return nil, fmt.Errorf("sim: lazy semaphore needs a name function")
+	}
+	if limit < 1 {
+		return nil, fmt.Errorf("sim: semaphore limit must be >= 1, got %d", limit)
+	}
+	return &Semaphore{nameFn: name, credits: limit, limit: limit}, nil
+}
+
+// Name returns the semaphore's name, resolving a lazy name on first use.
+func (s *Semaphore) Name() string {
+	if s.name == "" && s.nameFn != nil {
+		s.name = s.nameFn()
+		s.nameFn = nil
+	}
+	return s.name
+}
 
 // Limit returns the total credit count.
 func (s *Semaphore) Limit() int { return s.limit }
@@ -41,7 +62,7 @@ func (s *Semaphore) MaxWaiting() int { return s.maxWait }
 // otherwise queueing fn until Release provides one.
 func (s *Semaphore) Acquire(fn func()) {
 	if fn == nil {
-		panic(fmt.Sprintf("sim: semaphore %q: nil acquire function", s.name))
+		panic(fmt.Sprintf("sim: semaphore %q: nil acquire function", s.Name()))
 	}
 	if s.credits > 0 {
 		s.credits--
@@ -74,7 +95,7 @@ func (s *Semaphore) Release() {
 		return
 	}
 	if s.credits >= s.limit {
-		panic(fmt.Sprintf("sim: semaphore %q released above its limit %d", s.name, s.limit))
+		panic(fmt.Sprintf("sim: semaphore %q released above its limit %d", s.Name(), s.limit))
 	}
 	s.credits++
 }

@@ -40,6 +40,13 @@ type Policy = route.Policy
 // zero-load (static) decision.
 type Loads = route.Loads
 
+// Deterministic is the optional capability interface a Policy
+// implements to declare that its routes depend only on (grid, src,
+// dst), never on the live Loads.  The simulator memoizes such
+// policies' paths in a per-run route cache; adaptive policies (which
+// omit the method, or return false) transparently bypass it.
+type Deterministic = route.Deterministic
+
 // Direction is an axis-aligned unit movement on the mesh.
 type Direction = mesh.Direction
 
@@ -79,6 +86,11 @@ func Default() Policy { return route.Default() }
 // DefaultName (a machine without an explicit policy routes exactly
 // like XYOrder).
 func NameOf(p Policy) string { return route.NameOf(p) }
+
+// IsDeterministic reports whether p declares load-independence through
+// the Deterministic capability interface.  Policies without the method
+// are conservatively treated as adaptive (not cacheable).
+func IsDeterministic(p Policy) bool { return route.IsDeterministic(p) }
 
 // Turns counts the direction changes along a path — the number of
 // ballistic X/Y set switches its batches pay inside router nodes.

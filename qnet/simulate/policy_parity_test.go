@@ -1,0 +1,96 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/qnet/route"
+)
+
+// policyRow is one golden row of the cross-policy determinism pin: the
+// sweep-point coordinates plus the full Result (including Turns, which
+// the older parity_xy.json golden predates).
+type policyRow struct {
+	Layout  string
+	T, G, P int
+	Program string
+	Depth   int
+	Result  Result
+}
+
+// policyGolden groups the golden rows of one routing policy.
+type policyGolden struct {
+	Routing string
+	Rows    []policyRow
+}
+
+// policyRows runs the parity space under one policy and flattens the
+// results into golden rows.
+func policyRows(t *testing.T, p route.Policy) []policyRow {
+	t.Helper()
+	points, err := Sweep(context.Background(), paritySpace(t, []route.Policy{p}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]policyRow, 0, len(points))
+	for _, pt := range points {
+		if pt.Err != nil {
+			t.Fatalf("point %d: %v", pt.Point.Index, pt.Err)
+		}
+		rows = append(rows, policyRow{
+			Layout:  pt.Point.Layout.String(),
+			T:       pt.Point.Resources.Teleporters,
+			G:       pt.Point.Resources.Generators,
+			P:       pt.Point.Resources.Purifiers,
+			Program: pt.Point.Program.Name,
+			Depth:   pt.Point.Depth,
+			Result:  pt.Result,
+		})
+	}
+	return rows
+}
+
+// TestCrossPolicyGoldenResults pins the non-default routing policies
+// (yx, zigzag, least-congested) byte for byte: a sweep of the parity
+// space under each must reproduce testdata/parity_policies.json, which
+// was captured before the allocation-free engine refactor.  Together
+// with TestXYOrderParityWithPreRefactorGolden this proves the perf work
+// changes no simulated result under any shipped policy.
+//
+// Regenerate (only for an intentional simulator change) with:
+//
+//	QNET_UPDATE_GOLDEN=1 go test -run TestCrossPolicyGolden ./qnet/simulate/
+func TestCrossPolicyGoldenResults(t *testing.T) {
+	path := filepath.Join("testdata", "parity_policies.json")
+	goldens := make([]policyGolden, 0, 3)
+	for _, p := range []route.Policy{route.YXOrder(), route.ZigZag(), route.LeastCongested()} {
+		goldens = append(goldens, policyGolden{Routing: p.Name(), Rows: policyRows(t, p)})
+	}
+	got, err := json.MarshalIndent(goldens, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if os.Getenv("QNET_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("cross-policy sweep diverged from the pre-refactor golden\n got %d bytes\nwant %d bytes\n"+
+			"(yx/zigzag/least-congested results must survive the perf refactor unchanged; "+
+			"regenerate testdata/parity_policies.json only for an intentional simulator change)",
+			len(got), len(want))
+	}
+}

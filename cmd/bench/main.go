@@ -69,6 +69,10 @@ type entry struct {
 	// EventsPerSec is the simulated-event throughput for full-run and
 	// sweep benchmarks (0 for micro-benchmarks that don't report it).
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// PointsPerSec is the merged run-point throughput of the
+	// distributed-sweep benchmark (0 for benchmarks that don't report
+	// it).
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 }
 
 func main() {
@@ -124,6 +128,9 @@ func main() {
 		if e.EventsPerSec > 0 {
 			fmt.Printf(" %12.0f events/sec", e.EventsPerSec)
 		}
+		if e.PointsPerSec > 0 {
+			fmt.Printf(" %12.1f points/sec", e.PointsPerSec)
+		}
 		fmt.Println()
 	}
 	fmt.Printf("bench: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
@@ -137,7 +144,8 @@ type namedBench struct {
 
 // benchmarks enumerates the report's benchmark suite in fixed order:
 // the engine micro-benchmarks, the cancellation regression sizes, the
-// full-run layout x policy matrix and the 8-worker sweep.
+// full-run layout x policy matrix, the 8-worker sweep and the
+// 2-worker distributed sweep.
 func benchmarks() []namedBench {
 	list := []namedBench{{name: "EngineSchedule", fn: perfbench.EngineSchedule}}
 	for _, n := range perfbench.CancelPendingSizes {
@@ -153,6 +161,7 @@ func benchmarks() []namedBench {
 		})
 	}
 	list = append(list, namedBench{name: "Sweep/workers=8", fn: perfbench.SweepWorkers(8)})
+	list = append(list, namedBench{name: "DistribSweep/workers=2", fn: perfbench.DistributedSweep(2)})
 	return list
 }
 
@@ -170,6 +179,7 @@ func measure(name string, fn func(*testing.B)) entry {
 		e.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
 	}
 	e.EventsPerSec = r.Extra["events/sec"]
+	e.PointsPerSec = r.Extra["points/sec"]
 	return e
 }
 

@@ -24,13 +24,28 @@
 //	sweep -mode depth -seeds 5 -failure 0.05 -cache-dir .qnet
 //	sweep -routes xy,yx,zigzag,least-congested      # routing-policy comparison
 //	sweep -routes all -seeds 5 -failure 0.05        # with a real ensemble spread
+//
+// The depth sweep can also run distributed: give -workers a
+// comma-separated list of sweepd base URLs and this command becomes
+// the coordinator — it shards the space, dispatches the shards,
+// reassigns on worker death, and merges the streamed results into the
+// same table.  With -cache-dir and -store-listen it also serves the
+// fleet's shared result store, so every worker re-hits every other
+// worker's finished points:
+//
+//	sweep -mode depth -workers http://h1:9000,http://h2:9000 \
+//	      -cache-dir .qnet -store-listen 10.0.0.5:9100
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/figures"
@@ -38,6 +53,7 @@ import (
 
 	"repro/qnet"
 	"repro/qnet/channel"
+	"repro/qnet/distrib"
 	"repro/qnet/route"
 	"repro/qnet/simulate"
 	"repro/qnet/stats"
@@ -45,36 +61,74 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "errors", "sweep mode: errors, hops, depth, routes or methodology")
-		dist     = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
-		gridN    = flag.Int("grid", 6, "mesh edge length for the simulator sweeps")
-		workers  = flag.Int("workers", 0, "worker goroutines for the simulator sweeps (0 = GOMAXPROCS)")
-		seeds    = flag.Int("seeds", 1, "ensemble size (seeds per simulated point)")
-		failure  = flag.Float64("failure", 0, "purification failure-injection rate for the simulator sweeps")
-		cacheDir = flag.String("cache-dir", "", "directory for the on-disk result cache (empty: no cache)")
-		routes   = flag.String("routes", "", `routing policies to compare, comma-separated ("all" or e.g. "xy,yx,zigzag,least-congested"); implies -mode routes`)
+		mode        = flag.String("mode", "errors", "sweep mode: errors, hops, depth, routes or methodology")
+		dist        = flag.Int("dist", 20, "path length in hops for the analytic sweeps")
+		gridN       = flag.Int("grid", 6, "mesh edge length for the simulator sweeps")
+		workers     = flag.String("workers", "0", `worker goroutines for the simulator sweeps (0 = GOMAXPROCS), or a comma-separated list of sweepd URLs ("http://h1:9000,http://h2:9000") to run the depth sweep distributed`)
+		seeds       = flag.Int("seeds", 1, "ensemble size (seeds per simulated point)")
+		failure     = flag.Float64("failure", 0, "purification failure-injection rate for the simulator sweeps")
+		cacheDir    = flag.String("cache-dir", "", "directory for the on-disk result cache (empty: no cache)")
+		storeListen = flag.String("store-listen", "", "host:port to serve the fleet's shared result store on in distributed mode (must be reachable by the workers; empty: workers use their local stores)")
+		routes      = flag.String("routes", "", `routing policies to compare, comma-separated ("all" or e.g. "xy,yx,zigzag,least-congested"); implies -mode routes`)
 	)
 	flag.Parse()
 
-	var err error
-	switch {
-	case *routes != "" || *mode == "routes":
-		err = sweepRoutes(*routes, *gridN, *workers, *seeds, *failure, *cacheDir)
-	case *mode == "errors":
-		err = sweepErrors(*dist)
-	case *mode == "hops":
-		err = sweepHops(*dist)
-	case *mode == "depth":
-		err = sweepDepth(*gridN, *workers, *seeds, *failure, *cacheDir)
-	case *mode == "methodology":
-		err = sweepMethodology()
-	default:
-		err = fmt.Errorf("unknown mode %q (want errors, hops, depth, routes or methodology)", *mode)
+	goroutines, workerURLs, err := parseWorkers(*workers)
+	if err == nil {
+		switch {
+		case len(workerURLs) > 0 && *mode != "depth" && *routes == "":
+			err = fmt.Errorf("distributed -workers is only supported with -mode depth")
+		case *routes != "" || *mode == "routes":
+			if len(workerURLs) > 0 {
+				err = fmt.Errorf("distributed -workers is only supported with -mode depth")
+			} else {
+				err = sweepRoutes(*routes, *gridN, goroutines, *seeds, *failure, *cacheDir)
+			}
+		case *mode == "errors":
+			err = sweepErrors(*dist)
+		case *mode == "hops":
+			err = sweepHops(*dist)
+		case *mode == "depth" && len(workerURLs) > 0:
+			err = sweepDepthDistributed(*gridN, workerURLs, *seeds, *failure, *cacheDir, *storeListen)
+		case *mode == "depth":
+			err = sweepDepth(*gridN, goroutines, *seeds, *failure, *cacheDir)
+		case *mode == "methodology":
+			err = sweepMethodology()
+		default:
+			err = fmt.Errorf("unknown mode %q (want errors, hops, depth, routes or methodology)", *mode)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// parseWorkers interprets the -workers flag: a bare integer is a
+// goroutine count for the in-process engine; anything else is a
+// comma-separated list of sweepd worker URLs for distributed mode.
+func parseWorkers(s string) (goroutines int, urls []string, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return n, nil, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			return 0, nil, fmt.Errorf("-workers %q: %q is neither a goroutine count nor a URL", s, part)
+		}
+		urls = append(urls, part)
+	}
+	if len(urls) == 0 {
+		return 0, nil, fmt.Errorf("-workers %q: no worker URLs", s)
+	}
+	return 0, urls, nil
 }
 
 // sweepErrors scales all Table 2 error rates by powers of ten and
@@ -150,6 +204,16 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string) err
 	if err != nil {
 		return err
 	}
+	if err := writeDepthTable(points, gridN, len(space.Seeds)); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sweep:", simulate.Summarize(points))
+	return nil
+}
+
+// writeDepthTable renders the depth-ablation table shared by the local
+// and distributed depth sweeps, failing on the first errored point.
+func writeDepthTable(points []simulate.SweepPoint, gridN, seeds int) error {
 	for _, pt := range points {
 		if pt.Err != nil {
 			return pt.Err
@@ -157,7 +221,7 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string) err
 	}
 	t := report.NewTable(
 		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8, %d seeds)",
-			gridN*gridN, len(space.Seeds)),
+			gridN*gridN, seeds),
 		"Depth", "PairsPerOutput", "PairsDelivered", "MeanExec", "ExecCI95")
 	for _, g := range stats.Group(points) {
 		e := g.Ensemble
@@ -166,10 +230,71 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string) err
 			e.MeanExec().String(),
 			fmt.Sprintf("± %s", time.Duration(e.Exec.CI(0.95).Half()*float64(time.Second))))
 	}
-	if err := t.WriteText(os.Stdout); err != nil {
+	return t.WriteText(os.Stdout)
+}
+
+// sweepDepthDistributed runs the same depth ablation as sweepDepth but
+// as the coordinator of a sweepd fleet: the space ships to the workers
+// as a wire spec, shards stream back over HTTP, and the merged points
+// feed the identical table.  With -store-listen set, the coordinator
+// also serves its cache (disk-backed under -cache-dir) as the fleet's
+// shared result store.
+func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure float64, cacheDir, storeListen string) error {
+	grid, err := qnet.NewGrid(gridN, gridN)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "sweep:", simulate.Summarize(points))
+	spec := distrib.SpaceSpec{
+		Grids:       []qnet.Grid{grid},
+		Layouts:     distrib.LayoutNames([]simulate.Layout{simulate.HomeBase}),
+		Resources:   []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
+		Programs:    []qnet.Program{qnet.QFT(grid.Tiles())},
+		Depths:      []int{1, 2, 3, 4, 5},
+		Seeds:       simulate.SeedRange(seeds),
+		FailureRate: failure,
+	}
+
+	var store simulate.Store
+	if cacheDir != "" {
+		if store, err = simulate.NewDiskCache(cacheDir, 0); err != nil {
+			return err
+		}
+	} else {
+		store = simulate.NewCache(0)
+	}
+	var storeURL string
+	if storeListen != "" {
+		ln, err := net.Listen("tcp", storeListen)
+		if err != nil {
+			return fmt.Errorf("store listener: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: distrib.NewStoreServer(store).Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		storeURL = "http://" + ln.Addr().String()
+		fmt.Fprintln(os.Stderr, "sweep: serving shared store on", storeURL)
+	}
+
+	coord, err := distrib.NewCoordinator(distrib.NewHTTPTransport(), workerURLs,
+		distrib.WithSharedStore(store, storeURL),
+		distrib.WithHeartbeat(2*time.Second),
+		distrib.WithLogf(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	points, rep, err := coord.Sweep(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	if err := writeDepthTable(points, gridN, len(spec.Seeds)); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "sweep:", rep)
+	fmt.Fprintln(os.Stderr, "sweep:", simulate.SummarizeStore(points, store))
 	return nil
 }
 

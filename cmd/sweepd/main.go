@@ -1,0 +1,90 @@
+// Command sweepd is the distributed sweep worker daemon: it serves
+// the qnet/distrib job API and executes dispatched shards through the
+// in-process sweep engine.
+//
+// A worker keeps a local result store (in-memory by default, disk-
+// backed with -cache-dir) consulted for jobs that do not name a shared
+// fleet store; jobs dispatched by a coordinator running with a store
+// endpoint carry a StoreURL and use the fleet's shared store instead,
+// so every worker's results warm every other worker.
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a shard (JSON distrib.Job)
+//	GET  /v1/jobs/{id}/stream newline-delimited JSON results
+//	GET  /v1/healthz          liveness
+//	GET/PUT /v1/store/...     the local store, when -serve-store is set
+//
+// Usage:
+//
+//	sweepd -listen :9000
+//	sweepd -listen :9000 -cache-dir /var/qnet/store -serve-store
+//	sweepd -listen :9000 -parallel 4
+//
+// With -serve-store the worker also exposes its own store over the
+// store API, so a small fleet can elect any worker as the shared
+// store instead of running one beside the coordinator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/qnet/distrib"
+	"repro/qnet/simulate"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":9000", "address to serve the job API on")
+		cacheDir   = flag.String("cache-dir", "", "directory for the worker's on-disk result store (empty: in-memory)")
+		parallel   = flag.Int("parallel", 0, "points simulated concurrently per job (0 = GOMAXPROCS)")
+		serveStore = flag.Bool("serve-store", false, "also expose the worker's local store over the /v1/store API")
+	)
+	flag.Parse()
+
+	var store simulate.Store
+	if *cacheDir != "" {
+		disk, err := simulate.NewDiskCache(*cacheDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+		store = disk
+	} else {
+		store = simulate.NewCache(0)
+	}
+
+	worker := distrib.NewWorker(
+		distrib.WithWorkerStore(store),
+		distrib.WithWorkerParallelism(*parallel),
+	)
+	server := distrib.NewServer(worker)
+	defer server.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/jobs", server.Handler())
+	mux.Handle("/v1/jobs/", server.Handler())
+	mux.Handle("/v1/healthz", server.Handler())
+	if *serveStore {
+		mux.Handle("/v1/store/", distrib.NewStoreServer(store).Handler())
+	}
+
+	log.Printf("sweepd: serving job API on %s (store: %s, serve-store: %v)",
+		*listen, storeDesc(*cacheDir), *serveStore)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+// storeDesc names the local store kind for the startup log line.
+func storeDesc(cacheDir string) string {
+	if cacheDir == "" {
+		return "in-memory"
+	}
+	return "disk:" + cacheDir
+}

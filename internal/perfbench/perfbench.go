@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/qnet"
+	"repro/qnet/distrib"
 	"repro/qnet/route"
 	"repro/qnet/simulate"
 )
@@ -171,6 +172,69 @@ func SweepWorkers(workers int) func(*testing.B) {
 		}
 		b.StopTimer()
 		reportEventRate(b, events)
+	}
+}
+
+// DistributedSweep returns a benchmark driving the full distributed
+// sweep service in process: a coordinator sharding the same 16-point
+// space as SweepWorkers across `workers` loopback workers that share
+// one result store.  One iteration is one complete distributed sweep
+// with a cold store, so the dispatch, streaming and merge overhead is
+// all on the clock; the reported points/sec metric is the
+// coordinator-side merge throughput cmd/bench tracks.
+func DistributedSweep(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		grid, err := qnet.NewGrid(4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := distrib.SpaceSpec{
+			Grids:     []qnet.Grid{grid},
+			Layouts:   distrib.LayoutNames([]simulate.Layout{simulate.HomeBase, simulate.MobileQubit}),
+			Resources: []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
+			Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+			Depths:    []int{2, 3},
+			Routings:  distrib.RoutingNames(route.Policies()),
+		}
+		size, err := spec.Size()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store := simulate.NewCache(0)
+			lb := distrib.NewLoopback()
+			names := make([]string, workers)
+			for w := 0; w < workers; w++ {
+				names[w] = fmt.Sprintf("w%d", w)
+				lb.Add(names[w], distrib.NewWorker(distrib.WithWorkerStore(store)))
+			}
+			coord, err := distrib.NewCoordinator(lb, names, distrib.WithSharedStore(store, ""))
+			if err != nil {
+				b.Fatal(err)
+			}
+			points, _, err := coord.Sweep(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(points) != size {
+				b.Fatalf("merged %d of %d points", len(points), size)
+			}
+			if i == 0 {
+				for _, pt := range points {
+					if pt.Err != nil {
+						b.Fatal(pt.Err)
+					}
+				}
+			}
+		}
+		b.StopTimer()
+		secs := b.Elapsed().Seconds()
+		if secs > 0 {
+			b.ReportMetric(float64(size)*float64(b.N)/secs, "points/sec")
+		}
 	}
 }
 

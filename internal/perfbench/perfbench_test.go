@@ -22,3 +22,7 @@ func BenchmarkQFT(b *testing.B) {
 func BenchmarkSweep(b *testing.B) {
 	b.Run("workers=8", SweepWorkers(8))
 }
+
+func BenchmarkDistribSweep(b *testing.B) {
+	b.Run("workers=2", DistributedSweep(2))
+}

@@ -1,0 +1,421 @@
+// The coordinator half of the distributed sweep service: shard
+// planning, dispatch, retry/backoff, dead-worker reassignment, and the
+// merge back into the single-process []simulate.SweepPoint contract.
+
+package distrib
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/simulate"
+)
+
+// Coordinator shards a sweep space across a fleet of workers and
+// merges their streamed results.  Build one with NewCoordinator and
+// run sweeps with Sweep; a Coordinator is safe for sequential reuse
+// (one Sweep at a time).
+type Coordinator struct {
+	transport Transport
+	workers   []string
+	shards    int
+	attempts  int
+	backoff   time.Duration
+	heartbeat time.Duration
+	store     simulate.Store
+	storeURL  string
+	logf      func(format string, args ...any)
+}
+
+// CoordinatorOption configures a Coordinator.
+type CoordinatorOption func(*Coordinator)
+
+// WithShards sets how many shards the space is partitioned into.  The
+// default is four per worker: small enough to amortize dispatch,
+// large enough that losing a worker mid-shard forfeits little work.
+func WithShards(n int) CoordinatorOption {
+	return func(c *Coordinator) { c.shards = n }
+}
+
+// WithMaxAttempts caps how many times one shard may be dispatched
+// before the sweep fails (first attempt included).  The default is
+// the worker count plus two, so a shard survives every worker dying
+// once plus scheduling bad luck.
+func WithMaxAttempts(n int) CoordinatorOption {
+	return func(c *Coordinator) { c.attempts = n }
+}
+
+// WithRetryBackoff sets the delay before a failed shard is
+// re-enqueued (default 50ms; the delay grows linearly with the
+// shard's attempt count).
+func WithRetryBackoff(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.backoff = d }
+}
+
+// WithHeartbeat enables active liveness probing: every worker is
+// polled at this period, and two consecutive failed probes mark it
+// dead and abort its in-flight shard (which then reassigns).  Zero
+// (the default) relies on in-band detection only — a dead worker is
+// noticed when its result stream breaks.
+func WithHeartbeat(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.heartbeat = d }
+}
+
+// WithSharedStore gives the coordinator the fleet's shared result
+// store: merged fresh points are sanity-checked against it (see
+// Report.Mismatches), its stats land in the Report, and — when url is
+// non-empty — every dispatched Job carries it as StoreURL so workers
+// consult the same store remotely.  Pass url "" for transports whose
+// workers already share the store in process (Loopback).
+func WithSharedStore(st simulate.Store, url string) CoordinatorOption {
+	return func(c *Coordinator) { c.store, c.storeURL = st, url }
+}
+
+// WithLogf installs a progress logger (default: silent).
+func WithLogf(f func(format string, args ...any)) CoordinatorOption {
+	return func(c *Coordinator) { c.logf = f }
+}
+
+// NewCoordinator builds a coordinator dispatching over the transport
+// to the named workers (for HTTPTransport, their base URLs).
+func NewCoordinator(t Transport, workers []string, opts ...CoordinatorOption) (*Coordinator, error) {
+	if t == nil {
+		return nil, &qnet.ConfigError{Field: "Transport", Value: "-", Reason: "transport must not be nil"}
+	}
+	if len(workers) == 0 {
+		return nil, &qnet.ConfigError{Field: "Workers", Value: 0, Reason: "need at least one worker"}
+	}
+	c := &Coordinator{
+		transport: t,
+		workers:   workers,
+		shards:    4 * len(workers),
+		attempts:  len(workers) + 2,
+		backoff:   50 * time.Millisecond,
+		logf:      func(string, ...any) {},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Report is the operational outcome of one distributed sweep: how the
+// work spread, what failed over, and how the shared store behaved.
+type Report struct {
+	// Points is the number of distinct run points merged.
+	Points int
+	// CacheHits is how many merged points were served from the shared
+	// store rather than freshly simulated.
+	CacheHits int
+	// Shards is the number of planned shards.
+	Shards int
+	// Reassignments counts shard dispatches beyond each shard's first
+	// (retries on any worker plus failovers to another).
+	Reassignments int
+	// DuplicatePoints counts points delivered more than once — the
+	// overlap a reassigned shard re-delivers; duplicates are dropped
+	// on merge (first result wins).
+	DuplicatePoints int
+	// Mismatches counts fresh results that disagreed with the shared
+	// store's entry for the same key: nonzero means a worker diverged
+	// (version skew or lost determinism).  Details lists the first few
+	// as "index N: <metric deltas>".
+	Mismatches int
+	// MismatchDetails are the first mismatches' metric deltas.
+	MismatchDetails []string
+	// DeadWorkers lists workers that were declared dead during the
+	// sweep.
+	DeadWorkers []string
+	// ShardsByWorker counts completed shards per worker.
+	ShardsByWorker map[string]int
+	// Store is the shared store's counter snapshot after the sweep
+	// (zero when no store was attached).
+	Store simulate.CacheStats
+}
+
+// String renders the report compactly.
+func (r *Report) String() string {
+	out := fmt.Sprintf("%d points (%d store hits) over %d shards, %d reassignments, %d duplicates, %d mismatches",
+		r.Points, r.CacheHits, r.Shards, r.Reassignments, r.DuplicatePoints, r.Mismatches)
+	if len(r.DeadWorkers) > 0 {
+		out += fmt.Sprintf(", dead workers %v", r.DeadWorkers)
+	}
+	return out
+}
+
+// shardState is one shard's dispatch bookkeeping.
+type shardState struct {
+	Shard
+	attempts int
+}
+
+// Sweep expands the spec, shards it across the fleet, and returns the
+// merged points in expansion order — the same contract as
+// simulate.Sweep over the same space — plus the operational Report.
+// Per-point simulation failures are recorded in SweepPoint.Err exactly
+// like the single-process engine; Sweep itself fails only when a shard
+// exhausts its attempts, every worker dies, or ctx is cancelled.
+func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.SweepPoint, *Report, error) {
+	space, err := spec.Space()
+	if err != nil {
+		return nil, nil, err
+	}
+	pts, err := space.Points()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// With a store attached, every point's content key is known up
+	// front (the same machine validation single-process Sweep performs
+	// eagerly); the keys drive the merge-time sanity check.
+	var keys []simulate.Key
+	if c.store != nil {
+		keys = make([]simulate.Key, len(pts))
+		for i, pt := range pts {
+			m, err := space.Machine(pt)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i] = m.CacheKey(pt.Program)
+		}
+	}
+
+	shards := PlanShards(len(pts), c.shards)
+	rep := &Report{Shards: len(shards), ShardsByWorker: make(map[string]int)}
+
+	ctx, cancelSweep := context.WithCancel(ctx)
+	defer cancelSweep()
+
+	var (
+		mu        sync.Mutex
+		merged    = make(map[int]PointResult, len(pts))
+		remaining = len(shards)
+		liveW     = len(c.workers)
+		failure   error
+	)
+	allDone := make(chan struct{})
+	pending := make(chan *shardState, len(shards))
+	for i := range shards {
+		pending <- &shardState{Shard: shards[i]}
+	}
+
+	fail := func(err error) {
+		mu.Lock()
+		if failure == nil {
+			failure = err
+		}
+		mu.Unlock()
+		cancelSweep()
+	}
+
+	// merge folds one streamed point in, deduplicating overlap from
+	// reassigned shards and sanity-checking fresh results against the
+	// shared store.
+	merge := func(pr PointResult) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := merged[pr.Index]; dup {
+			rep.DuplicatePoints++
+			return nil
+		}
+		if pr.Index < 0 || pr.Index >= len(pts) {
+			return fmt.Errorf("distrib: streamed point index %d out of range", pr.Index)
+		}
+		merged[pr.Index] = pr
+		if pr.Cached {
+			rep.CacheHits++
+		}
+		if keys != nil && !pr.Cached && pr.Err == "" {
+			if prev, ok := c.store.Get(keys[pr.Index]); ok {
+				if d := simulate.Diff(prev, pr.Result); !d.IsZero() {
+					rep.Mismatches++
+					if len(rep.MismatchDetails) < 8 {
+						rep.MismatchDetails = append(rep.MismatchDetails,
+							fmt.Sprintf("index %d: %s", pr.Index, d))
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	markDead := func(worker string) {
+		mu.Lock()
+		for _, w := range rep.DeadWorkers {
+			if w == worker {
+				mu.Unlock()
+				return
+			}
+		}
+		rep.DeadWorkers = append(rep.DeadWorkers, worker)
+		liveW--
+		noneLeft := liveW == 0
+		mu.Unlock()
+		c.logf("distrib: worker %s declared dead", worker)
+		if noneLeft {
+			fail(errors.New("distrib: every worker died with shards outstanding"))
+		}
+	}
+
+	// Per-worker cancel handles let the heartbeat monitor abort a dead
+	// worker's in-flight shard so it reassigns promptly.
+	type flight struct {
+		mu     sync.Mutex
+		cancel context.CancelFunc
+	}
+	flights := make(map[string]*flight, len(c.workers))
+	for _, w := range c.workers {
+		flights[w] = &flight{}
+	}
+
+	var wg sync.WaitGroup
+	for _, worker := range c.workers {
+		wg.Add(1)
+		go func(worker string) {
+			defer wg.Done()
+			fl := flights[worker]
+			for {
+				var sh *shardState
+				select {
+				case <-ctx.Done():
+					return
+				case <-allDone:
+					return
+				case sh = <-pending:
+				}
+				mu.Lock()
+				dead := false
+				for _, w := range rep.DeadWorkers {
+					if w == worker {
+						dead = true
+					}
+				}
+				if dead {
+					mu.Unlock()
+					pending <- sh // hand back untaken
+					return
+				}
+				if sh.attempts > 0 {
+					rep.Reassignments++
+				}
+				sh.attempts++
+				attempts := sh.attempts
+				mu.Unlock()
+
+				jctx, cancel := context.WithCancel(ctx)
+				fl.mu.Lock()
+				fl.cancel = cancel
+				fl.mu.Unlock()
+				job := Job{Space: spec, Indices: sh.Indices, StoreURL: c.storeURL}
+				err := c.transport.Run(jctx, worker, job, merge)
+				fl.mu.Lock()
+				fl.cancel = nil
+				fl.mu.Unlock()
+				cancel()
+
+				if err == nil {
+					mu.Lock()
+					rep.ShardsByWorker[worker]++
+					remaining--
+					done := remaining == 0
+					mu.Unlock()
+					if done {
+						close(allDone)
+						return
+					}
+					continue
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				c.logf("distrib: shard %d attempt %d on %s failed: %v", sh.ID, attempts, worker, err)
+				if attempts >= c.attempts {
+					fail(fmt.Errorf("distrib: shard %d failed after %d attempts: %w", sh.ID, attempts, err))
+					return
+				}
+				// Re-enqueue after a linear backoff; the buffered channel
+				// guarantees the send cannot block.
+				sst := sh
+				time.AfterFunc(time.Duration(attempts)*c.backoff, func() { pending <- sst })
+				// A broken stream usually means a dead worker; confirm
+				// out of band and stop pulling work if so.
+				if c.transport.Healthy(ctx, worker) != nil {
+					markDead(worker)
+					return
+				}
+			}
+		}(worker)
+	}
+
+	// Heartbeat monitor: active liveness probing, aborting in-flight
+	// shards of workers that stop answering.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	if c.heartbeat > 0 {
+		for _, worker := range c.workers {
+			go func(worker string) {
+				misses := 0
+				t := time.NewTicker(c.heartbeat)
+				defer t.Stop()
+				for {
+					select {
+					case <-hbCtx.Done():
+						return
+					case <-allDone:
+						return
+					case <-t.C:
+					}
+					if c.transport.Healthy(hbCtx, worker) != nil {
+						if misses++; misses >= 2 {
+							markDead(worker)
+							fl := flights[worker]
+							fl.mu.Lock()
+							if fl.cancel != nil {
+								fl.cancel()
+							}
+							fl.mu.Unlock()
+							return
+						}
+					} else {
+						misses = 0
+					}
+				}
+			}(worker)
+		}
+	}
+
+	wg.Wait()
+	mu.Lock()
+	err = failure
+	mu.Unlock()
+	if err == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+	}
+	if err == nil && len(merged) != len(pts) {
+		err = fmt.Errorf("distrib: merged %d of %d points", len(merged), len(pts))
+	}
+	if err != nil {
+		return nil, rep, err
+	}
+
+	out := make([]simulate.SweepPoint, len(pts))
+	for i, pt := range pts {
+		pr := merged[i]
+		sp := simulate.SweepPoint{Point: pt, Result: pr.Result, Cached: pr.Cached}
+		if pr.Err != "" {
+			sp.Err = errors.New(pr.Err)
+		}
+		out[i] = sp
+	}
+	rep.Points = len(out)
+	if c.store != nil {
+		rep.Store = c.store.Stats()
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,327 @@
+// The worker job API over HTTP: Server exposes a Worker as the
+// three-endpoint protocol cmd/sweepd serves, and HTTPTransport is the
+// coordinator-side client.
+//
+//	POST /v1/jobs             <- JSON Job, -> 202 + {"id": "..."}
+//	GET  /v1/jobs/{id}/stream -> newline-delimited JSON stream lines
+//	GET  /v1/healthz          -> 200 "ok"
+//
+// Each stream line carries either one finished point, a terminal
+// worker-side error, or the terminal done marker; a stream that ends
+// without a terminal line was truncated (worker death) and the client
+// reports it as such.
+
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// jobsPath is the URL prefix of the job endpoints.
+const jobsPath = "/v1/jobs"
+
+// healthzPath is the liveness endpoint.
+const healthzPath = "/v1/healthz"
+
+// streamLine is one newline-delimited JSON line of a job's result
+// stream: exactly one of Point, Err or Done is set.
+type streamLine struct {
+	// Point is one finished run point.
+	Point *PointResult `json:"point,omitempty"`
+	// Err terminates the stream with a worker-side failure.
+	Err string `json:"error,omitempty"`
+	// Done terminates the stream cleanly: every point was delivered.
+	Done bool `json:"done,omitempty"`
+}
+
+// jobState buffers one job's results between the executing goroutine
+// and (possibly later, possibly slower) stream readers.
+type jobState struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	points []PointResult
+	done   bool
+	err    error
+}
+
+// newJobState builds an empty buffer.
+func newJobState() *jobState {
+	js := &jobState{}
+	js.cond = sync.NewCond(&js.mu)
+	return js
+}
+
+// Server serves the worker job API over a Worker.  Create it with
+// NewServer, mount Handler, and Close it on shutdown to cancel any
+// jobs still executing.
+type Server struct {
+	worker *Worker
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*jobState
+}
+
+// NewServer builds a job server executing on the given worker.
+func NewServer(w *Worker) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{worker: w, ctx: ctx, cancel: cancel, jobs: make(map[string]*jobState)}
+}
+
+// Close cancels every job still executing.  In-flight streams end with
+// an error line.
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the job API's http.Handler, with the store API's
+// routes left unclaimed (mount a StoreServer beside it if this worker
+// should also serve the fleet store).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(healthzPath, func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc(jobsPath, s.serveSubmit)
+	mux.HandleFunc(jobsPath+"/", s.serveStream)
+	return mux
+}
+
+// serveSubmit accepts a job, starts executing it immediately, and
+// replies with its id.
+func (s *Server) serveSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var job Job
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&job); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := job.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	js := newJobState()
+	s.jobs[id] = js
+	s.mu.Unlock()
+	job.ID = id
+
+	go func() {
+		err := s.worker.Execute(s.ctx, job, func(pr PointResult) error {
+			js.mu.Lock()
+			js.points = append(js.points, pr)
+			js.cond.Broadcast()
+			js.mu.Unlock()
+			return nil
+		})
+		js.mu.Lock()
+		js.done, js.err = true, err
+		js.cond.Broadcast()
+		js.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(struct {
+		ID string `json:"id"`
+	}{ID: id})
+}
+
+// serveStream streams a job's results as they finish, ending with a
+// terminal done or error line.  The finished job is dropped from the
+// server's table once fully streamed.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, jobsPath+"/")
+	id, ok := strings.CutSuffix(rest, "/stream")
+	if !ok || id == "" || strings.Contains(id, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	js := s.jobs[id]
+	s.mu.Unlock()
+	if js == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	write := func(line streamLine) bool {
+		if err := enc.Encode(line); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	next := 0
+	for {
+		js.mu.Lock()
+		for next >= len(js.points) && !js.done {
+			js.cond.Wait()
+		}
+		batch := js.points[next:]
+		next = len(js.points)
+		done, err := js.done, js.err
+		js.mu.Unlock()
+		for i := range batch {
+			if !write(streamLine{Point: &batch[i]}) {
+				return // reader hung up; keep the job for a retry
+			}
+		}
+		if done && next == s.lenPoints(js) {
+			if err != nil {
+				write(streamLine{Err: err.Error()})
+			} else {
+				write(streamLine{Done: true})
+				s.mu.Lock()
+				delete(s.jobs, id)
+				s.mu.Unlock()
+			}
+			return
+		}
+	}
+}
+
+// lenPoints reads the job's current point count under its lock.
+func (s *Server) lenPoints(js *jobState) int {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return len(js.points)
+}
+
+// HTTPTransport is the coordinator-side client of the worker job API:
+// worker names are base URLs such as "http://host:9000".
+type HTTPTransport struct {
+	// Client is the HTTP client used for all calls.  It must not set
+	// an overall timeout (result streams outlive any fixed budget);
+	// bound calls through the context instead.
+	Client *http.Client
+}
+
+// HTTPTransport implements Transport.
+var _ Transport = (*HTTPTransport)(nil)
+
+// NewHTTPTransport builds the default HTTP transport.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{}}
+}
+
+// Run submits the job to the worker at the given base URL and decodes
+// its result stream, emitting every point.  A stream that ends without
+// a terminal line reports a truncation error, so a worker dying
+// mid-shard is indistinguishable from unreachable — either way the
+// coordinator reassigns.
+func (t *HTTPTransport) Run(ctx context.Context, worker string, job Job, emit func(PointResult) error) error {
+	base := strings.TrimSuffix(worker, "/")
+	body, err := json.Marshal(job)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+jobsPath, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&accepted)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("distrib: submit to %s: %s", worker, resp.Status)
+	}
+	if decErr != nil || accepted.ID == "" {
+		return fmt.Errorf("distrib: submit to %s: bad accept body", worker)
+	}
+
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s%s/%s/stream", base, jobsPath, accepted.ID), nil)
+	if err != nil {
+		return err
+	}
+	resp, err = t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: stream from %s: %s", worker, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line streamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("distrib: stream from %s: %w", worker, err)
+		}
+		switch {
+		case line.Err != "":
+			return fmt.Errorf("distrib: worker %s: %s", worker, line.Err)
+		case line.Done:
+			return nil
+		case line.Point != nil:
+			if err := emit(*line.Point); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("distrib: stream from %s: %w", worker, err)
+	}
+	return fmt.Errorf("distrib: stream from %s truncated", worker)
+}
+
+// Healthy probes the worker's /v1/healthz endpoint with a short
+// deadline layered under ctx.
+func (t *HTTPTransport) Healthy(ctx context.Context, worker string) error {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(worker, "/")+healthzPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: %s unhealthy: %s", worker, resp.Status)
+	}
+	return nil
+}

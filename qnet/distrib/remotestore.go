@@ -1,0 +1,234 @@
+// The fleet's shared result store over HTTP: StoreServer exposes any
+// simulate.Store (typically the coordinator's disk-backed Cache) as a
+// tiny key/value API, and RemoteStore is the simulate.Store client
+// workers point at it — so every worker's lookups and write-backs
+// land in one warm store, and a shard reassigned after a worker death
+// re-hits the points its previous owner already finished.
+
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/qnet/simulate"
+)
+
+// storePath is the URL prefix of the store API's key endpoints.
+const storePath = "/v1/store/"
+
+// storeStatsPath is the URL of the store API's counters endpoint.
+const storeStatsPath = "/v1/store/stats"
+
+// parseKey parses the lowercase-hex wire form of a simulate.Key (the
+// form Key.String prints).
+func parseKey(s string) (simulate.Key, error) {
+	var k simulate.Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("distrib: bad store key %q", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// StoreServer exposes a simulate.Store over HTTP:
+//
+//	GET /v1/store/{key}   -> 200 + JSON Result, or 404
+//	PUT /v1/store/{key}   <- JSON Result, -> 204
+//	GET /v1/store/stats   -> 200 + JSON CacheStats
+//
+// Mount its Handler on the coordinator (or any host the fleet can
+// reach) and point workers at it with RemoteStore / Job.StoreURL.
+type StoreServer struct {
+	store simulate.Store
+}
+
+// NewStoreServer wraps a store for HTTP serving.
+func NewStoreServer(st simulate.Store) *StoreServer {
+	return &StoreServer{store: st}
+}
+
+// Handler returns the store API's http.Handler.
+func (s *StoreServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(storePath, s.serveKey)
+	return mux
+}
+
+// serveKey handles both key endpoints and the stats endpoint (which
+// shares the /v1/store/ prefix).
+func (s *StoreServer) serveKey(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == storeStatsPath && r.Method == http.MethodGet {
+		writeJSON(w, s.store.Stats())
+		return
+	}
+	key, err := parseKey(strings.TrimPrefix(r.URL.Path, storePath))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		res, ok := s.store.Get(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, res)
+	case http.MethodPut:
+		var res simulate.Result
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&res); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.store.Put(key, res)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// RemoteStore is a simulate.Store backed by a StoreServer across the
+// network.  Like every Store it is best-effort: an unreachable server
+// turns Gets into misses and Puts into counted write errors, never
+// into simulation failures — a partitioned worker degrades to
+// re-simulating, exactly as if the store were cold.
+type RemoteStore struct {
+	base   string
+	client *http.Client
+
+	mu    sync.Mutex
+	stats simulate.CacheStats
+}
+
+// RemoteStore implements simulate.Store.
+var _ simulate.Store = (*RemoteStore)(nil)
+
+// NewRemoteStore builds a client of the store API rooted at base
+// (e.g. "http://coordinator:9090").  A trailing slash is tolerated.
+func NewRemoteStore(base string) *RemoteStore {
+	return &RemoteStore{
+		base:   strings.TrimSuffix(base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// keyURL returns the endpoint of one key.
+func (rs *RemoteStore) keyURL(k simulate.Key) string {
+	return rs.base + storePath + k.String()
+}
+
+// Get fetches the Result for the key; any transport or decode failure
+// is a miss.
+func (rs *RemoteStore) Get(k simulate.Key) (simulate.Result, bool) {
+	resp, err := rs.client.Get(rs.keyURL(k))
+	if err != nil {
+		return rs.miss()
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return rs.miss()
+	}
+	var res simulate.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		rs.mu.Lock()
+		rs.stats.CorruptEntries++
+		rs.mu.Unlock()
+		return rs.miss()
+	}
+	rs.mu.Lock()
+	rs.stats.Hits++
+	rs.mu.Unlock()
+	return res, true
+}
+
+// miss counts and returns a store miss.
+func (rs *RemoteStore) miss() (simulate.Result, bool) {
+	rs.mu.Lock()
+	rs.stats.Misses++
+	rs.mu.Unlock()
+	return simulate.Result{}, false
+}
+
+// Put uploads the Result for the key, best effort; failures are
+// counted in Stats().WriteErrors.
+func (rs *RemoteStore) Put(k simulate.Key, res simulate.Result) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		rs.writeError()
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, rs.keyURL(k), bytes.NewReader(data))
+	if err != nil {
+		rs.writeError()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		rs.writeError()
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		rs.writeError()
+	}
+}
+
+// writeError counts one failed Put.
+func (rs *RemoteStore) writeError() {
+	rs.mu.Lock()
+	rs.stats.WriteErrors++
+	rs.mu.Unlock()
+}
+
+// Stats returns this client's local traffic counters (its own hits,
+// misses and write errors — not the server's aggregate; see
+// ServerStats for that).
+func (rs *RemoteStore) Stats() simulate.CacheStats {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.stats
+}
+
+// ServerStats fetches the server-side aggregate counters of the
+// backing store — the fleet-wide view, including the corrupt-entry
+// count SummarizeStore surfaces.
+func (rs *RemoteStore) ServerStats(ctx context.Context) (simulate.CacheStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.base+storeStatsPath, nil)
+	if err != nil {
+		return simulate.CacheStats{}, err
+	}
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		return simulate.CacheStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return simulate.CacheStats{}, fmt.Errorf("distrib: store stats: %s", resp.Status)
+	}
+	var stats simulate.CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return simulate.CacheStats{}, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,44 @@
+// The shard planner: deterministic partition of a point list.
+
+package distrib
+
+// Shard is one planned unit of dispatch: a contiguous slice of point
+// indices into a space's deterministic expansion.
+type Shard struct {
+	// ID is the shard's position in plan order, 0-based.
+	ID int
+	// Indices are the point indices this shard owns.
+	Indices []int
+}
+
+// PlanShards partitions the point indices [0, total) into at most
+// shards contiguous, near-equal shards (the first total%shards shards
+// get one extra point).  A non-positive shard count, or one exceeding
+// the point count, collapses to one point per shard.  The plan is a
+// pure function of its arguments, so coordinator restarts re-plan
+// identically.
+func PlanShards(total, shards int) []Shard {
+	if total <= 0 {
+		return nil
+	}
+	if shards <= 0 || shards > total {
+		shards = total
+	}
+	out := make([]Shard, 0, shards)
+	base := total / shards
+	extra := total % shards
+	next := 0
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		idx := make([]int, size)
+		for j := range idx {
+			idx[j] = next
+			next++
+		}
+		out = append(out, Shard{ID: i, Indices: idx})
+	}
+	return out
+}

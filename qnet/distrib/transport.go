@@ -1,0 +1,22 @@
+// The transport seam between coordinator and workers.
+
+package distrib
+
+import "context"
+
+// Transport carries jobs from the coordinator to named workers and
+// streams their results back.  Two implementations ship: HTTPTransport
+// (worker names are base URLs of cmd/sweepd processes) and Loopback
+// (in-process workers, for tests and benchmarks — no sockets).  The
+// coordinator is transport-agnostic, so a future mesh transport slots
+// in without touching dispatch logic.
+type Transport interface {
+	// Run submits the job to the named worker and calls emit once per
+	// finished point until the shard completes.  It returns nil only
+	// after the worker signalled clean completion; a truncated stream,
+	// an unreachable worker or a worker-side failure is an error (the
+	// coordinator's cue to reassign the shard).
+	Run(ctx context.Context, worker string, job Job, emit func(PointResult) error) error
+	// Healthy probes the named worker's liveness.
+	Healthy(ctx context.Context, worker string) error
+}

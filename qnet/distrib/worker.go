@@ -1,0 +1,178 @@
+// The worker half of the distributed sweep service: executes one
+// shard of run points through the in-process sweep engine, consulting
+// the fleet's shared result store, and streams finished points back.
+
+package distrib
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/qnet/simulate"
+)
+
+// Worker executes job shards via the in-process simulation engine.  A
+// Worker is stateless between jobs and safe for concurrent use; the
+// HTTP Server and the Loopback transport both drive one through
+// Execute.
+type Worker struct {
+	store     simulate.Store
+	parallel  int
+	newRemote func(url string) simulate.Store
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*Worker)
+
+// WithWorkerStore installs the worker's default result store,
+// consulted (and written back) for every point of jobs that do not
+// name a shared StoreURL of their own.
+func WithWorkerStore(st simulate.Store) WorkerOption {
+	return func(w *Worker) { w.store = st }
+}
+
+// WithWorkerParallelism sets how many points of one job the worker
+// simulates concurrently.  Values below 1 (and the default) mean
+// GOMAXPROCS.
+func WithWorkerParallelism(n int) WorkerOption {
+	return func(w *Worker) { w.parallel = n }
+}
+
+// NewWorker builds a worker with the given options over the defaults
+// (no store, GOMAXPROCS-way parallelism, HTTP remote stores).
+func NewWorker(opts ...WorkerOption) *Worker {
+	w := &Worker{newRemote: func(url string) simulate.Store { return NewRemoteStore(url) }}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w
+}
+
+// storeFor resolves the store one job runs against: the job's shared
+// StoreURL when set, else the worker's own.
+func (w *Worker) storeFor(job Job) simulate.Store {
+	if job.StoreURL != "" {
+		return w.newRemote(job.StoreURL)
+	}
+	return w.store
+}
+
+// Execute runs every point of the job's shard and calls emit once per
+// finished point, in completion order, serialized (emit is never
+// called concurrently).  Points whose simulation fails are emitted
+// with Err set and do not abort the shard; Execute itself returns an
+// error only for a malformed job, a cancelled context, or an emit
+// failure (a broken result stream).  When a store is available —
+// per-job via Job.StoreURL or worker-wide via WithWorkerStore — every
+// point is looked up before simulating and stored back after, so a
+// reassigned shard re-hits the fleet's store for points its previous
+// owner already finished.
+func (w *Worker) Execute(ctx context.Context, job Job, emit func(PointResult) error) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	space, err := job.Space.Space()
+	if err != nil {
+		return err
+	}
+	pts, err := space.Points()
+	if err != nil {
+		return err
+	}
+	store := w.storeFor(job)
+
+	parallel := w.parallel
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(job.Indices) {
+		parallel = len(job.Indices)
+	}
+
+	// The pool mirrors the sweep engine's shape: a feeder, N point
+	// runners, one collector serializing emits.  Execute returns the
+	// first emit error (the stream consumer hung up) or ctx.Err().
+	jobs := make(chan int)
+	results := make(chan PointResult, parallel)
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for i := 0; i < parallel; i++ {
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				pr := w.runPoint(ctx, space, pts[idx], store)
+				select {
+				case results <- pr:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, idx := range job.Indices {
+			select {
+			case jobs <- idx:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var emitErr error
+	emitted := 0
+	for pr := range results {
+		if emitErr == nil {
+			if err := emit(pr); err != nil {
+				emitErr = err
+			} else {
+				emitted++
+			}
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if emitted != len(job.Indices) {
+		// Runners bailed without a context error: impossible today, but
+		// a truncated shard must never read as a complete one.
+		return context.Canceled
+	}
+	return nil
+}
+
+// runPoint executes one expanded point against the store (when
+// present), mapping simulation failure into the wire error form.
+func (w *Worker) runPoint(ctx context.Context, space simulate.Space, pt simulate.Point, store simulate.Store) PointResult {
+	m, err := space.Machine(pt)
+	if err != nil {
+		return PointResult{Index: pt.Index, Err: err.Error()}
+	}
+	var key simulate.Key
+	if store != nil {
+		key = m.CacheKey(pt.Program)
+		if res, ok := store.Get(key); ok {
+			return PointResult{Index: pt.Index, Result: res, Cached: true}
+		}
+	}
+	res, err := m.Run(ctx, pt.Program)
+	if err != nil {
+		return PointResult{Index: pt.Index, Err: err.Error()}
+	}
+	if store != nil {
+		store.Put(key, res)
+	}
+	return PointResult{Index: pt.Index, Result: res}
+}

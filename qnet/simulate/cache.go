@@ -151,14 +151,18 @@ const DefaultCacheEntries = 4096
 // memory or disk); DiskHits is the subset that had to be read from the
 // on-disk store; WriteErrors counts best-effort disk writes that
 // failed; DiskEvictions counts on-disk entries pruned by the max-bytes
-// or max-age budget.
+// or max-age budget; CorruptEntries counts on-disk entries that were
+// present but unparseable (each one silently degraded into a miss —
+// nonzero means the store is rotting, which matters once many hosts
+// share it).
 type CacheStats struct {
-	Hits          uint64
-	DiskHits      uint64
-	Misses        uint64
-	WriteErrors   uint64
-	DiskEvictions uint64
-	Entries       int
+	Hits           uint64
+	DiskHits       uint64
+	Misses         uint64
+	WriteErrors    uint64
+	DiskEvictions  uint64
+	CorruptEntries uint64
+	Entries        int
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -171,10 +175,14 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // String renders the counters compactly ("17 hits (3 disk), 5 misses,
-// 77.3% hit rate").
+// 77.3% hit rate"), flagging corrupt entries when any were seen.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("%d hits (%d disk), %d misses, %.1f%% hit rate",
+	out := fmt.Sprintf("%d hits (%d disk), %d misses, %.1f%% hit rate",
 		s.Hits, s.DiskHits, s.Misses, 100*s.HitRate())
+	if s.CorruptEntries > 0 {
+		out += fmt.Sprintf(", %d corrupt", s.CorruptEntries)
+	}
+	return out
 }
 
 // Cache is a content-addressed store of simulation Results: an
@@ -399,8 +407,8 @@ func (c *Cache) insert(k Key, res Result) {
 
 // readDisk loads one key from the on-disk store.  A hit refreshes the
 // file's modification time (best effort), so the max-bytes pruner's
-// LRU-by-mtime order reflects reads, not just writes.  It touches no
-// mutable cache state, so callers need not hold c.mu.
+// LRU-by-mtime order reflects reads, not just writes.  Callers need
+// not hold c.mu; the corrupt-entry counter takes it internally.
 func (c *Cache) readDisk(k Key) (Result, bool) {
 	path := c.path(k)
 	data, err := os.ReadFile(path)
@@ -409,6 +417,12 @@ func (c *Cache) readDisk(k Key) (Result, bool) {
 	}
 	var res Result
 	if err := json.Unmarshal(data, &res); err != nil {
+		// The entry exists but cannot be parsed: still a miss (the
+		// point just re-simulates), but a counted one, so operators of
+		// long-lived shared stores can tell rot from cold.
+		c.mu.Lock()
+		c.stats.CorruptEntries++
+		c.mu.Unlock()
 		return Result{}, false
 	}
 	if c.maxBytes > 0 || c.maxAge > 0 {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/qnet"
@@ -271,7 +272,9 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 // TestCacheCorruptDiskEntry asserts an unreadable stored result is a
-// miss, not an error.
+// miss, not an error — but a counted miss: CorruptEntries must record
+// it, and both CacheStats and a store-aware Summary must surface it,
+// so operators of fleet-shared stores can tell rot from cold.
 func TestCacheCorruptDiskEntry(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewDiskCache(dir, 0)
@@ -291,6 +294,27 @@ func TestCacheCorruptDiskEntry(t *testing.T) {
 	}
 	if _, ok := c2.Get(k); ok {
 		t.Error("corrupt entry served as a hit")
+	}
+	stats := c2.Stats()
+	if stats.CorruptEntries != 1 {
+		t.Fatalf("CorruptEntries = %d, want 1", stats.CorruptEntries)
+	}
+	if stats.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1 (corrupt entries degrade to misses)", stats.Misses)
+	}
+	if s := stats.String(); !strings.Contains(s, "1 corrupt") {
+		t.Fatalf("CacheStats.String() hides corruption: %q", s)
+	}
+	sum := SummarizeStore(nil, c2)
+	if sum.CorruptEntries != 1 {
+		t.Fatalf("SummarizeStore.CorruptEntries = %d, want 1", sum.CorruptEntries)
+	}
+	if s := sum.String(); !strings.Contains(s, "1 corrupt store entries") {
+		t.Fatalf("Summary.String() hides corruption: %q", s)
+	}
+	// A healthy summary stays unchanged.
+	if s := Summarize(nil).String(); strings.Contains(s, "corrupt") {
+		t.Fatalf("healthy summary mentions corruption: %q", s)
 	}
 }
 

@@ -1,0 +1,136 @@
+// Per-run delta analytics: structured comparison of two Results.
+//
+// A Session records every run; Delta compares two of them metric by
+// metric, so an ablation ("what did doubling the purifier count buy?")
+// reads as a signed report instead of two tables to eyeball.  The
+// distributed coordinator (qnet/distrib) reuses Diff as its
+// shard-merge sanity check: a freshly simulated point whose stored
+// twin differs by a nonzero delta means a worker diverged.
+
+package simulate
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/qnet"
+)
+
+// ResultDelta is the signed metric-by-metric difference between two
+// Results (b minus a, field for field).  The zero value means the two
+// runs agreed on every metric.
+type ResultDelta struct {
+	// Exec is the execution-time difference.
+	Exec time.Duration
+	// Ops is the logical-operation count difference.
+	Ops int
+	// Channels is the quantum-channel count difference.
+	Channels int64
+	// LocalOps is the difference in ops needing no network.
+	LocalOps int64
+	// PairsDelivered is the delivered-EPR-pair difference.
+	PairsDelivered int64
+	// PairHops is the pair-teleportation (network strain) difference.
+	PairHops int64
+	// Turns is the in-router X/Y turn count difference.
+	Turns int64
+	// Events is the simulation-event count difference.
+	Events int64
+	// ClassicalMessages is the control-message count difference.
+	ClassicalMessages int64
+	// FailedBatches is the injected-failure batch count difference.
+	FailedBatches int64
+	// MeanChannelLatency is the mean channel-latency difference.
+	MeanChannelLatency time.Duration
+	// MaxChannelLatency is the worst channel-latency difference.
+	MaxChannelLatency time.Duration
+	// TeleporterUtil, GeneratorUtil and PurifierUtil are the mean
+	// resource-utilization differences.
+	TeleporterUtil, GeneratorUtil, PurifierUtil float64
+}
+
+// Diff returns the metric deltas of b relative to a: positive fields
+// mean b is larger.  Two equal Results produce the zero delta.
+func Diff(a, b Result) ResultDelta {
+	return ResultDelta{
+		Exec:               b.Exec - a.Exec,
+		Ops:                b.Ops - a.Ops,
+		Channels:           int64(b.Channels) - int64(a.Channels),
+		LocalOps:           int64(b.LocalOps) - int64(a.LocalOps),
+		PairsDelivered:     int64(b.PairsDelivered) - int64(a.PairsDelivered),
+		PairHops:           int64(b.PairHops) - int64(a.PairHops),
+		Turns:              int64(b.Turns) - int64(a.Turns),
+		Events:             int64(b.Events) - int64(a.Events),
+		ClassicalMessages:  int64(b.ClassicalMessages) - int64(a.ClassicalMessages),
+		FailedBatches:      int64(b.FailedBatches) - int64(a.FailedBatches),
+		MeanChannelLatency: b.MeanChannelLatency - a.MeanChannelLatency,
+		MaxChannelLatency:  b.MaxChannelLatency - a.MaxChannelLatency,
+		TeleporterUtil:     b.TeleporterUtil - a.TeleporterUtil,
+		GeneratorUtil:      b.GeneratorUtil - a.GeneratorUtil,
+		PurifierUtil:       b.PurifierUtil - a.PurifierUtil,
+	}
+}
+
+// IsZero reports whether every metric delta is zero, i.e. the two
+// compared Results were identical.
+func (d ResultDelta) IsZero() bool { return d == ResultDelta{} }
+
+// String renders only the nonzero deltas, signed and named
+// ("exec +1.2ms, events +340, turns -12"), or "no change" for the
+// zero delta.
+func (d ResultDelta) String() string {
+	var parts []string
+	addInt := func(name string, v int64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s %+d", name, v))
+		}
+	}
+	addDur := func(name string, v time.Duration) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s +%v", name, v))
+		} else if v < 0 {
+			parts = append(parts, fmt.Sprintf("%s %v", name, v))
+		}
+	}
+	addFloat := func(name string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s %+.4f", name, v))
+		}
+	}
+	addDur("exec", d.Exec)
+	addInt("ops", int64(d.Ops))
+	addInt("channels", d.Channels)
+	addInt("local-ops", d.LocalOps)
+	addInt("pairs", d.PairsDelivered)
+	addInt("pair-hops", d.PairHops)
+	addInt("turns", d.Turns)
+	addInt("events", d.Events)
+	addInt("classical-msgs", d.ClassicalMessages)
+	addInt("failed-batches", d.FailedBatches)
+	addDur("mean-latency", d.MeanChannelLatency)
+	addDur("max-latency", d.MaxChannelLatency)
+	addFloat("teleporter-util", d.TeleporterUtil)
+	addFloat("generator-util", d.GeneratorUtil)
+	addFloat("purifier-util", d.PurifierUtil)
+	if len(parts) == 0 {
+		return "no change"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Delta compares two of the session's recorded runs by index (run 0 is
+// the first), returning run j's metrics relative to run i's.  It
+// returns a *qnet.ConfigError when either index is out of range.
+func (s *Session) Delta(i, j int) (ResultDelta, error) {
+	for _, idx := range []int{i, j} {
+		if idx < 0 || idx >= len(s.results) {
+			return ResultDelta{}, &qnet.ConfigError{
+				Field:  "Session.Delta",
+				Value:  idx,
+				Reason: fmt.Sprintf("run index out of range [0,%d)", len(s.results)),
+			}
+		}
+	}
+	return Diff(s.results[i], s.results[j]), nil
+}

@@ -1,0 +1,81 @@
+package simulate
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/qnet"
+)
+
+func TestDiff(t *testing.T) {
+	a := Result{Exec: time.Second, Ops: 10, Events: 100, Turns: 5, TeleporterUtil: 0.5}
+	if d := Diff(a, a); !d.IsZero() {
+		t.Fatalf("Diff(a, a) = %+v, want zero", d)
+	}
+	if s := Diff(a, a).String(); s != "no change" {
+		t.Fatalf("zero delta renders %q", s)
+	}
+	b := a
+	b.Exec += 200 * time.Millisecond
+	b.Events += 40
+	b.Turns -= 2
+	d := Diff(a, b)
+	if d.IsZero() {
+		t.Fatal("nonzero delta reported zero")
+	}
+	if d.Exec != 200*time.Millisecond || d.Events != 40 || d.Turns != -2 {
+		t.Fatalf("Diff = %+v", d)
+	}
+	s := d.String()
+	for _, want := range []string{"exec +200ms", "events +40", "turns -2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("delta string %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "ops") {
+		t.Fatalf("delta string %q includes an unchanged metric", s)
+	}
+	// Signs: Diff(b, a) is the negation.
+	if r := Diff(b, a); r.Exec != -d.Exec || r.Events != -d.Events {
+		t.Fatalf("reverse diff %+v does not negate %+v", r, d)
+	}
+}
+
+func TestSessionDelta(t *testing.T) {
+	grid, err := qnet.NewGrid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(grid, HomeBase, WithResources(8, 8, 4), WithFailureRate(0.1), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewSession()
+	prog := qnet.QFT(grid.Tiles())
+	for i := 0; i < 2; i++ {
+		if _, err := s.Run(context.Background(), prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := s.Delta(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Diff(s.Results()[0], s.Results()[1]); d != want {
+		t.Fatalf("Session.Delta = %+v, want %+v", d, want)
+	}
+	// With failure injection the two derived seeds almost surely
+	// diverge somewhere; assert the delta is self-consistent either
+	// way: zero iff the results are equal.
+	if d.IsZero() != (s.Results()[0] == s.Results()[1]) {
+		t.Fatal("IsZero disagrees with result equality")
+	}
+	if _, err := s.Delta(0, 2); err == nil {
+		t.Fatal("out-of-range run index accepted")
+	}
+	if _, err := s.Delta(-1, 0); err == nil {
+		t.Fatal("negative run index accepted")
+	}
+}

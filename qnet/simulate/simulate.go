@@ -69,10 +69,10 @@ type Result = netsim.Result
 type Detail = netsim.Detail
 
 // machineSpec is the mutable state Options apply to: the simulator
-// configuration plus machine-level attachments (the result cache).
+// configuration plus machine-level attachments (the result store).
 type machineSpec struct {
 	cfg   netsim.Config
-	cache *Cache
+	store Store
 	err   error
 }
 
@@ -156,7 +156,7 @@ func WithFailureRate(rate float64) Option {
 // WithCacheDir serves repeated Runs from its result cache.
 type Machine struct {
 	cfg   netsim.Config
-	cache *Cache
+	store Store
 }
 
 // New builds a Machine on the given grid and layout, applying opts over
@@ -180,7 +180,7 @@ func New(grid qnet.Grid, layout Layout, opts ...Option) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, &qnet.ConfigError{Field: "Config", Value: "-", Reason: err.Error()}
 	}
-	return &Machine{cfg: cfg, cache: spec.cache}, nil
+	return &Machine{cfg: cfg, store: spec.store}, nil
 }
 
 // validate mirrors netsim.Config.Validate with structured errors, so
@@ -242,8 +242,16 @@ func (m *Machine) RoutingName() string { return route.NameOf(m.cfg.Route) }
 func (m *Machine) Seed() int64 { return m.cfg.Seed }
 
 // Cache returns the machine's attached result cache, or nil when the
-// machine was built without WithCache/WithCacheDir.
-func (m *Machine) Cache() *Cache { return m.cache }
+// machine was built without WithCache/WithCacheDir (or when the
+// attached Store is not a *Cache; use Store for the general form).
+func (m *Machine) Cache() *Cache {
+	c, _ := m.store.(*Cache)
+	return c
+}
+
+// Store returns the machine's attached result store, or nil when the
+// machine was built without WithCache/WithCacheDir/WithStore.
+func (m *Machine) Store() Store { return m.store }
 
 // checkProgram validates prog against the machine's capacity.
 func (m *Machine) checkProgram(prog qnet.Program) error {
@@ -271,18 +279,18 @@ func (m *Machine) Run(ctx context.Context, prog qnet.Program) (Result, error) {
 }
 
 // runCached runs one fully-resolved configuration through the attached
-// cache (a plain simulation when no cache is attached).
+// store (a plain simulation when no store is attached).
 func (m *Machine) runCached(ctx context.Context, cfg netsim.Config, prog qnet.Program) (Result, error) {
-	if m.cache == nil {
+	if m.store == nil {
 		return netsim.RunContext(ctx, cfg, prog)
 	}
 	key := keyFor(cfg, prog)
-	if res, ok := m.cache.Get(key); ok {
+	if res, ok := m.store.Get(key); ok {
 		return res, nil
 	}
 	res, err := netsim.RunContext(ctx, cfg, prog)
 	if err == nil {
-		m.cache.Put(key, res)
+		m.store.Put(key, res)
 	}
 	return res, err
 }

@@ -160,6 +160,12 @@ type Summary struct {
 	CacheHits int
 	// Failed is how many ended with a non-nil Err.
 	Failed int
+	// CorruptEntries is the store's corrupt-entry count at summary
+	// time (zero unless the summary was built by SummarizeStore with a
+	// store that reports rot, e.g. a disk cache with unparseable
+	// files).  Fleet-shared stores use it to detect on-disk damage
+	// that would otherwise silently degrade into misses.
+	CorruptEntries uint64
 }
 
 // HitRate returns CacheHits / Points, or 0 for an empty sweep.
@@ -171,10 +177,14 @@ func (s Summary) HitRate() float64 {
 }
 
 // String renders the summary compactly ("20 points, 15 cached (75.0%),
-// 0 failed").
+// 0 failed"), flagging corrupt store entries when any were seen.
 func (s Summary) String() string {
-	return fmt.Sprintf("%d points, %d cached (%.1f%%), %d failed",
+	out := fmt.Sprintf("%d points, %d cached (%.1f%%), %d failed",
 		s.Points, s.CacheHits, 100*s.HitRate(), s.Failed)
+	if s.CorruptEntries > 0 {
+		out += fmt.Sprintf(", %d corrupt store entries", s.CorruptEntries)
+	}
+	return out
 }
 
 // Summarize tallies a sweep's finished points into a Summary.
@@ -191,6 +201,31 @@ func Summarize(points []SweepPoint) Summary {
 	}
 	return s
 }
+
+// SummarizeStore is Summarize folded together with the sweep's store
+// health: the store's corrupt-entry count is copied into the summary,
+// so a fleet-shared store's rot surfaces next to the hit rate instead
+// of hiding inside silently-degraded misses.  A nil store is allowed
+// and behaves like plain Summarize.
+func SummarizeStore(points []SweepPoint, st Store) Summary {
+	s := Summarize(points)
+	if st != nil {
+		s.CorruptEntries = st.Stats().CorruptEntries
+	}
+	return s
+}
+
+// Points expands the space into its full point list in the
+// deterministic order documented on Point.Index.  The expansion is a
+// pure function of the space's dimensions, so two processes expanding
+// equal spaces agree on every index — the property qnet/distrib relies
+// on to ship shards as bare index lists.
+func (sp Space) Points() ([]Point, error) { return sp.points() }
+
+// Machine builds the validated Machine for one expanded point of the
+// space, exactly as Sweep does for its workers: the space's Options
+// first, then the point's resources, depth, routing and seed.
+func (sp Space) Machine(pt Point) (*Machine, error) { return sp.machine(pt) }
 
 // points expands the space in deterministic order.
 func (sp Space) points() ([]Point, error) {
@@ -275,7 +310,7 @@ func (f sweepOptionFunc) applySweep(c *sweepConfig) { f(c) }
 type sweepConfig struct {
 	workers  int
 	progress func(done, total int)
-	cache    *Cache
+	store    Store
 	cacheOpt *cacheOption
 }
 
@@ -303,37 +338,40 @@ type CacheOption interface {
 	SweepOption
 }
 
-// cacheOption is the shared implementation of WithCache/WithCacheDir.
-// The disk-backed variant memoizes its cache, so one WithCacheDir
-// value applied to many machines (e.g. via Space.Options, once per
-// expanded point) builds and shares a single store.
+// cacheOption is the shared implementation of WithCache, WithCacheDir
+// and WithStore.  The disk-backed variant memoizes its cache, so one
+// WithCacheDir value applied to many machines (e.g. via Space.Options,
+// once per expanded point) builds and shares a single store.
 type cacheOption struct {
-	cache *Cache
+	store Store
 	dir   string
 	once  sync.Once
 	built *Cache
 	err   error
 }
 
-// resolve returns the option's cache, building the disk store on first
-// use.
-func (o *cacheOption) resolve() (*Cache, error) {
-	if o.cache != nil {
-		return o.cache, nil
+// resolve returns the option's store, building the disk-backed cache
+// on first use.
+func (o *cacheOption) resolve() (Store, error) {
+	if o.store != nil {
+		return o.store, nil
 	}
 	o.once.Do(func() {
 		o.built, o.err = NewDiskCache(o.dir, 0)
 	})
-	return o.built, o.err
+	if o.err != nil {
+		return nil, o.err
+	}
+	return o.built, nil
 }
 
 func (o *cacheOption) applyMachine(s *machineSpec) {
-	c, err := o.resolve()
+	st, err := o.resolve()
 	if err != nil {
 		s.err = &qnet.ConfigError{Field: "CacheDir", Value: o.dir, Reason: err.Error()}
 		return
 	}
-	s.cache = c
+	s.store = st
 }
 
 func (o *cacheOption) applySweep(cfg *sweepConfig) {
@@ -347,7 +385,7 @@ func (o *cacheOption) applySweep(cfg *sweepConfig) {
 // with NewDiskCache, across processes — so regenerating a figure after
 // changing one dimension of its space only simulates the new points.
 func WithCache(c *Cache) CacheOption {
-	return &cacheOption{cache: c}
+	return &cacheOption{store: c}
 }
 
 // WithCacheDir is WithCache with a throwaway disk-backed cache rooted
@@ -414,11 +452,11 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 		return nil, 0, err
 	}
 	if cfg.cacheOpt != nil {
-		c, err := cfg.cacheOpt.resolve()
+		st, err := cfg.cacheOpt.resolve()
 		if err != nil {
 			return nil, 0, err
 		}
-		cfg.cache = c
+		cfg.store = st
 	}
 	// Validate every point's machine up front so configuration errors
 	// surface before any simulation work is spent.
@@ -430,14 +468,14 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 		}
 		machines[i] = m
 	}
-	// A cache attached through Space.Options lands on every machine;
-	// adopt it as the sweep cache so those points get the same
+	// A store attached through Space.Options lands on every machine;
+	// adopt it as the sweep store so those points get the same
 	// single-flight dedup and hit accounting as a WithCache sweep
 	// (workers bypass the machine-level attachment via runUncached).
-	if cfg.cache == nil {
+	if cfg.store == nil {
 		for _, m := range machines {
-			if m.cache != nil {
-				cfg.cache = m.cache
+			if m.store != nil {
+				cfg.store = m.store
 				break
 			}
 		}
@@ -478,7 +516,7 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 					err    error
 					cached bool
 				)
-				if cfg.cache == nil {
+				if cfg.store == nil {
 					res, err = machines[i].runUncached(ctx, pts[i].Program)
 				} else {
 					// Claim-first: every point takes the flight for its
@@ -499,10 +537,10 @@ func stream(ctx context.Context, space Space, cfg sweepConfig) (<-chan SweepPoin
 							}
 						}
 					}
-					if res, cached = cfg.cache.Get(key); !cached {
+					if res, cached = cfg.store.Get(key); !cached {
 						res, err = machines[i].runUncached(ctx, pts[i].Program)
 						if err == nil {
-							cfg.cache.Put(key, res)
+							cfg.store.Put(key, res)
 						}
 					}
 					flights.release(key)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/qnet"
+	"repro/qnet/fault"
 	"repro/qnet/route"
 	"repro/qnet/simulate"
 )
@@ -53,9 +54,11 @@ func realMain() int {
 		depth   = flag.Int("depth", 3, "queue purifier depth")
 		level   = flag.Int("level", 2, "Steane code concatenation level")
 		hopCell = flag.Int("hopcells", 600, "cells per mesh hop")
-		routeFl = flag.String("route", "xy", "routing policy: "+strings.Join(route.Names(), ", "))
+		routeFl = flag.String("route", "xy", "routing policy: "+strings.Join(route.Names(), ", ")+", fault-adaptive")
 		failure = flag.Float64("failure", 0, "injected purification failure probability per batch")
-		seed    = flag.Int64("seed", 0, "failure-injection RNG seed")
+		fDead   = flag.Float64("fault-dead", 0, "fraction of mesh links killed before the run (use -route fault-adaptive to route around them)")
+		fDrop   = flag.Float64("fault-drop", 0, "per-hop batch drop probability on live links")
+		seed    = flag.Int64("seed", 0, "fault-pattern and failure-injection RNG seed")
 		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
 		heatmap = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
 		cache   = flag.String("cache-dir", "", "directory for the on-disk result cache (warm runs are served from it)")
@@ -98,7 +101,8 @@ func realMain() int {
 	if err := run(opts{
 		workload: *wl, program: *program, gridN: *gridN, layout: *layout,
 		t: *t, g: *g, p: *p, depth: *depth, level: *level, hopCells: *hopCell,
-		route: *routeFl, failure: *failure, seed: *seed, timeout: *timeout,
+		route: *routeFl, failure: *failure, faultDead: *fDead, faultDrop: *fDrop,
+		seed: *seed, timeout: *timeout,
 		heatmap: *heatmap, cacheDir: *cache,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qnetsim:", err)
@@ -113,6 +117,7 @@ type opts struct {
 	hopCells                     int
 	route                        string
 	failure                      float64
+	faultDead, faultDrop         float64
 	seed                         int64
 	timeout                      time.Duration
 	heatmap                      bool
@@ -171,6 +176,7 @@ func run(o opts) error {
 		simulate.WithHopCells(o.hopCells),
 		simulate.WithRouting(policy),
 		simulate.WithFailureRate(o.failure),
+		simulate.WithFaults(fault.Spec{DeadLinks: o.faultDead, Drop: o.faultDrop}),
 		simulate.WithSeed(o.seed),
 	}
 	if o.cacheDir != "" {
@@ -211,6 +217,9 @@ func run(o opts) error {
 	fmt.Printf("EPR pair-hops       %d (%d router turns)\n", res.PairHops, res.Turns)
 	if res.FailedBatches > 0 {
 		fmt.Printf("failed batches      %d (failure rate %.2f)\n", res.FailedBatches, o.failure)
+	}
+	if res.DeadLinks > 0 || res.DroppedBatches > 0 {
+		fmt.Printf("faults              %d dead links, %d dropped batches\n", res.DeadLinks, res.DroppedBatches)
 	}
 	fmt.Printf("channel latency     mean %v, max %v\n", res.MeanChannelLatency, res.MaxChannelLatency)
 	fmt.Printf("utilization         teleporters %.1f%%, generators %.1f%%, purifiers %.1f%%\n",

@@ -54,6 +54,7 @@ import (
 	"repro/qnet"
 	"repro/qnet/channel"
 	"repro/qnet/distrib"
+	"repro/qnet/fault"
 	"repro/qnet/route"
 	"repro/qnet/simulate"
 	"repro/qnet/stats"
@@ -70,6 +71,8 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "directory for the on-disk result cache (empty: no cache)")
 		storeListen = flag.String("store-listen", "", "host:port to serve the fleet's shared result store on in distributed mode (must be reachable by the workers; empty: workers use their local stores)")
 		routes      = flag.String("routes", "", `routing policies to compare, comma-separated ("all" or e.g. "xy,yx,zigzag,least-congested"); implies -mode routes`)
+		faultDead   = flag.Float64("fault-dead", 0, "fraction of mesh links to kill per depth-sweep point (drawn from each point's seed; switches routing to fault-adaptive)")
+		faultDrop   = flag.Float64("fault-drop", 0, "per-link batch drop probability injected on live links for the depth sweep")
 	)
 	flag.Parse()
 
@@ -89,9 +92,11 @@ func main() {
 		case *mode == "hops":
 			err = sweepHops(*dist)
 		case *mode == "depth" && len(workerURLs) > 0:
-			err = sweepDepthDistributed(*gridN, workerURLs, *seeds, *failure, *cacheDir, *storeListen)
+			err = sweepDepthDistributed(*gridN, workerURLs, *seeds, *failure, *cacheDir, *storeListen,
+				fault.Spec{DeadLinks: *faultDead, Drop: *faultDrop})
 		case *mode == "depth":
-			err = sweepDepth(*gridN, goroutines, *seeds, *failure, *cacheDir)
+			err = sweepDepth(*gridN, goroutines, *seeds, *failure, *cacheDir,
+				fault.Spec{DeadLinks: *faultDead, Drop: *faultDrop})
 		case *mode == "methodology":
 			err = sweepMethodology()
 		default:
@@ -167,13 +172,16 @@ func sweepHops(dist int) error {
 }
 
 // depthSweepSpace is the cmd/sweep default grid: the queue-purifier
-// depth ablation the benchmark in qnet/simulate measures.
-func depthSweepSpace(gridN, seeds int, failure float64) (simulate.Space, error) {
+// depth ablation the benchmark in qnet/simulate measures.  A non-empty
+// fault spec becomes the space's fault dimension; dead links also
+// switch routing to the fault-adaptive policy, since the static
+// default would fail every blocked path.
+func depthSweepSpace(gridN, seeds int, failure float64, fs fault.Spec) (simulate.Space, error) {
 	grid, err := qnet.NewGrid(gridN, gridN)
 	if err != nil {
 		return simulate.Space{}, err
 	}
-	return simulate.Space{
+	space := simulate.Space{
 		Grids:     []qnet.Grid{grid},
 		Layouts:   []simulate.Layout{simulate.HomeBase},
 		Resources: []simulate.Resources{{Teleporters: 16, Generators: 16, Purifiers: 8}},
@@ -181,14 +189,21 @@ func depthSweepSpace(gridN, seeds int, failure float64) (simulate.Space, error) 
 		Depths:    []int{1, 2, 3, 4, 5},
 		Seeds:     simulate.SeedRange(seeds),
 		Options:   []simulate.Option{simulate.WithFailureRate(failure)},
-	}, nil
+	}
+	if !fs.Empty() {
+		space.Faults = []fault.Spec{fs}
+		if fs.DeadLinks > 0 {
+			space.Routings = []route.Policy{route.FaultAdaptive()}
+		}
+	}
+	return space, nil
 }
 
 // sweepDepth varies the queue-purifier depth in the full simulator,
 // running all depths (times all seeds) concurrently and folding the
 // seed dimension into mean ± 95% CI columns.
-func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string) error {
-	space, err := depthSweepSpace(gridN, seeds, failure)
+func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string, fs fault.Spec) error {
+	space, err := depthSweepSpace(gridN, seeds, failure, fs)
 	if err != nil {
 		return err
 	}
@@ -239,7 +254,7 @@ func writeDepthTable(points []simulate.SweepPoint, gridN, seeds int) error {
 // feed the identical table.  With -store-listen set, the coordinator
 // also serves its cache (disk-backed under -cache-dir) as the fleet's
 // shared result store.
-func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure float64, cacheDir, storeListen string) error {
+func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure float64, cacheDir, storeListen string, fs fault.Spec) error {
 	grid, err := qnet.NewGrid(gridN, gridN)
 	if err != nil {
 		return err
@@ -252,6 +267,12 @@ func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure fl
 		Depths:      []int{1, 2, 3, 4, 5},
 		Seeds:       simulate.SeedRange(seeds),
 		FailureRate: failure,
+	}
+	if !fs.Empty() {
+		spec.Faults = []fault.Spec{fs}
+		if fs.DeadLinks > 0 {
+			spec.Routings = []string{"fault-adaptive"}
+		}
 	}
 
 	var store simulate.Store

@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func grid(t *testing.T, w, h int) mesh.Grid {
+	t.Helper()
+	g, err := mesh.NewGrid(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmptySpecBuildsNilAndDrawsNothing(t *testing.T) {
+	g := grid(t, 4, 4)
+	rng := rand.New(rand.NewSource(9))
+	m, err := Spec{}.Build(g, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if m != nil {
+		t.Fatalf("empty spec built a model: %+v", m)
+	}
+	// The empty spec must consume zero RNG draws, so the stream an
+	// empty-fault run sees is byte-identical to a run with no fault
+	// plumbing at all.
+	if got, want := rng.Int63(), rand.New(rand.NewSource(9)).Int63(); got != want {
+		t.Fatalf("empty Build consumed RNG draws: next=%d, fresh=%d", got, want)
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	g := grid(t, 6, 6)
+	sp := Spec{DeadLinks: 0.2, Drop: 0.03,
+		Regions: []Region{{X: 1, Y: 1, W: 2, H: 2, Drop: 0.1}}}
+	a, err := Preview(sp, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preview(sp, g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeadCount() != b.DeadCount() {
+		t.Fatalf("dead counts differ: %d vs %d", a.DeadCount(), b.DeadCount())
+	}
+	for i := 0; i < g.Tiles(); i++ {
+		c := g.CoordOf(i)
+		if a.Rank(c) != b.Rank(c) {
+			t.Fatalf("rank(%v) differs: %d vs %d", c, a.Rank(c), b.Rank(c))
+		}
+		for d := mesh.East; d <= mesh.South; d++ {
+			if a.Dead(c, d) != b.Dead(c, d) {
+				t.Fatalf("Dead(%v,%v) differs", c, d)
+			}
+			if a.DropRate(c, d) != b.DropRate(c, d) {
+				t.Fatalf("DropRate(%v,%v) differs", c, d)
+			}
+		}
+	}
+}
+
+func TestSeedChangesPattern(t *testing.T) {
+	g := grid(t, 8, 8)
+	sp := Spec{DeadLinks: 0.3}
+	counts := make(map[int]bool)
+	for seed := int64(0); seed < 5; seed++ {
+		m, err := Preview(sp, g, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m.DeadCount()] = true
+	}
+	if len(counts) < 2 {
+		t.Fatalf("five seeds, one dead-link count: pattern ignores the seed")
+	}
+}
+
+func TestHealthyRanksAreManhattan(t *testing.T) {
+	g := grid(t, 5, 4)
+	// Drop-only spec: no dead links, so BFS ranks from tile 0 must be
+	// the Manhattan distance x+y on the full mesh.
+	m, err := Preview(Spec{Drop: 0.01}, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Tiles(); i++ {
+		c := g.CoordOf(i)
+		if got, want := m.Rank(c), c.X+c.Y; got != want {
+			t.Fatalf("Rank(%v) = %d, want %d", c, got, want)
+		}
+	}
+	if !m.Connected() {
+		t.Fatal("healthy mesh reported disconnected")
+	}
+}
+
+func TestAllLinksDeadDisconnects(t *testing.T) {
+	g := grid(t, 3, 3)
+	m, err := Preview(Spec{DeadLinks: 1}, g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.DeadCount(), g.NumLinks(); got != want {
+		t.Fatalf("DeadCount = %d, want every link (%d)", got, want)
+	}
+	if m.Connected() {
+		t.Fatal("fully severed mesh reported connected")
+	}
+	// Tile 0 is its own BFS root; everything else is unreachable.
+	for i := 1; i < g.Tiles(); i++ {
+		if r := m.Rank(g.CoordOf(i)); r != -1 {
+			t.Fatalf("Rank(%v) = %d, want -1 (disconnected)", g.CoordOf(i), r)
+		}
+	}
+}
+
+func TestRegionDropsStackAndCap(t *testing.T) {
+	g := grid(t, 4, 4)
+	whole := Region{X: 0, Y: 0, W: 4, H: 4, Drop: 0.5}
+	m, err := Preview(Spec{Drop: 0.5, Regions: []Region{whole, whole, whole, whole}}, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-(1-.5)^5 = 0.96875, which must clip at the cap: a spec can
+	// degrade a link, not permanently sever it through the drop path.
+	c := mesh.Coord{X: 1, Y: 1}
+	if got := m.DropRate(c, mesh.East); got != maxDrop {
+		t.Fatalf("stacked DropRate = %v, want capped at %v", got, maxDrop)
+	}
+}
+
+func TestOffGridHopsCountDead(t *testing.T) {
+	g := grid(t, 3, 3)
+	m, err := Preview(Spec{Drop: 0.01}, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dead(mesh.Coord{X: 0, Y: 0}, mesh.West) {
+		t.Fatal("off-grid hop reported live")
+	}
+	if !m.Dead(mesh.Coord{X: 2, Y: 2}, mesh.East) {
+		t.Fatal("off-grid hop reported live")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	g := grid(t, 4, 4)
+	cases := []struct {
+		name string
+		sp   Spec
+		want string
+	}{
+		{"dead fraction above 1", Spec{DeadLinks: 1.5}, "DeadLinks"},
+		{"dead fraction negative", Spec{DeadLinks: -0.1}, "DeadLinks"},
+		{"drop of 1 severs", Spec{Drop: 1}, "Drop"},
+		{"drop negative", Spec{Drop: -0.2}, "Drop"},
+		{"region outside grid", Spec{Regions: []Region{{X: 3, Y: 3, W: 2, H: 2, Drop: 0.1}}}, "region"},
+		{"region empty rect", Spec{Regions: []Region{{X: 1, Y: 1, W: 0, H: 2, Drop: 0.1}}}, "region"},
+		{"region drop of 1", Spec{Regions: []Region{{X: 0, Y: 0, W: 2, H: 2, Drop: 1}}}, "region"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.sp.Validate(g)
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", c.sp)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name %q", err, c.want)
+			}
+		})
+	}
+	if err := (Spec{DeadLinks: 0.5, Drop: 0.5,
+		Regions: []Region{{X: 0, Y: 0, W: 4, H: 4, Drop: 0.5}}}).Validate(g); err != nil {
+		t.Fatalf("Validate rejected a legal spec: %v", err)
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	cases := []struct {
+		sp   Spec
+		want string
+	}{
+		{Spec{}, "none"},
+		{Spec{DeadLinks: 0.05}, "dead=0.05"},
+		{Spec{Drop: 0.02}, "drop=0.02"},
+		{Spec{DeadLinks: 0.05, Drop: 0.02, Regions: []Region{{X: 2, Y: 2, W: 3, H: 3, Drop: 0.2}}},
+			"dead=0.05,drop=0.02,region=(2,2)+3x3@0.2"},
+	}
+	for _, c := range cases {
+		if got := c.sp.String(); got != c.want {
+			t.Fatalf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

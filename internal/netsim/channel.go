@@ -4,9 +4,22 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mesh"
+	"repro/internal/route"
 	"repro/internal/workload"
 )
+
+// dropBudgetPerBatch bounds the resend attempts of one channel at this
+// many transmissions per logical batch: under any admissible drop rate
+// the expected attempt count is far below it, so hitting the budget
+// means the fault pattern is effectively severing the channel — the
+// run then fails with a structured *fault.ExcessiveLossError instead
+// of simulating (bounded but absurdly long) retry storms.  Only faulty
+// runs enforce it; a healthy run's resends (purification failures) are
+// governed by PurifyFailureRate < 1 alone, exactly as before the fault
+// layer.
+const dropBudgetPerBatch = 1000
 
 // channel sets up a quantum channel from src to dst and teleports a
 // logical qubit across it, calling done when the data has arrived.
@@ -21,6 +34,9 @@ import (
 // When all numBatches outputs are ready, the logical qubit's physical
 // qubits teleport over (in parallel, one delivered pair each).
 func (s *simulator) channel(src, dst mesh.Coord, done func()) {
+	if s.err != nil {
+		return // aborted run: issue nothing more, let the engine drain
+	}
 	if src == dst {
 		s.localOps++
 		done()
@@ -33,7 +49,9 @@ func (s *simulator) channel(src, dst mesh.Coord, done func()) {
 	// policies see the routers' live loads through the loads adapter.
 	// Deterministic policies answer repeated (src, dst) pairs from the
 	// per-run route cache, skipping the policy call, the Follow
-	// validation walk and both slice allocations.
+	// validation walk and both slice allocations.  (The cache is scoped
+	// to one run, hence to one materialized fault pattern, so caching
+	// fault-aware routes is sound.)
 	srcIdx, dstIdx := s.cfg.Grid.Index(src), s.cfg.Grid.Index(dst)
 	var dirs []mesh.Direction
 	var tiles []mesh.Coord
@@ -42,9 +60,12 @@ func (s *simulator) channel(src, dst mesh.Coord, done func()) {
 	}
 	if dirs == nil {
 		var err error
-		dirs, err = s.policy.Route(s.cfg.Grid, src, dst, loads{s})
+		dirs, err = s.routeChannel(src, dst)
 		if err != nil {
-			panic(err) // placements are validated against the grid
+			// A structured routing failure on the faulty mesh (blocked
+			// path, partition): abort the run cleanly.
+			s.fail(err)
+			return
 		}
 		tiles, err = s.cfg.Grid.Follow(src, dirs)
 		if err != nil {
@@ -68,22 +89,69 @@ func (s *simulator) channel(src, dst mesh.Coord, done func()) {
 			done()
 		},
 	}
+	if s.faults != nil {
+		ch.budget = dropBudgetPerBatch * uint64(s.numBatches)
+	}
 	for b := 0; b < s.numBatches; b++ {
 		ch.startBatch()
 	}
 }
 
+// routeChannel resolves one channel's hop path under the run's fault
+// model.  A fault-aware policy routes on the live topology (and may
+// return a structured *fault.UnreachableError on a partitioned pair);
+// any other policy keeps its fault-oblivious path, which is then
+// validated link by link — a path crossing a dead link is a structured
+// *fault.RouteBlockedError, never a silent teleport across a hole.
+func (s *simulator) routeChannel(src, dst mesh.Coord) ([]mesh.Direction, error) {
+	if fa, ok := s.policy.(route.FaultAware); ok && s.faults != nil {
+		return fa.RouteFaulty(s.cfg.Grid, src, dst, s.faults, loads{s})
+	}
+	dirs, err := s.policy.Route(s.cfg.Grid, src, dst, loads{s})
+	if err != nil {
+		panic(err) // placements are validated against the grid
+	}
+	if s.faults != nil && s.faults.HasDeadLinks() {
+		cur := src
+		for _, d := range dirs {
+			if s.faults.Dead(cur, d) {
+				return nil, &fault.RouteBlockedError{Src: src, Dst: dst, At: cur, Policy: s.policy.Name()}
+			}
+			cur = cur.Step(d)
+		}
+	}
+	return dirs, nil
+}
+
 // channelRun tracks one channel's in-flight batches.
 type channelRun struct {
-	sim      *simulator
-	dirs     []mesh.Direction
-	tiles    []mesh.Coord
-	outputs  int
-	done     func()
+	sim     *simulator
+	dirs    []mesh.Direction
+	tiles   []mesh.Coord
+	outputs int
+	done    func()
+	// attempts counts batch transmissions (initial sends plus drop and
+	// purification resends); budget caps them on a faulty mesh (0 = no
+	// cap, the healthy-mesh behavior).
+	attempts uint64
+	budget   uint64
 	finished bool
 }
 
 func (ch *channelRun) startBatch() {
+	s := ch.sim
+	if s.err != nil {
+		return
+	}
+	ch.attempts++
+	if ch.budget > 0 && ch.attempts > ch.budget {
+		s.fail(&fault.ExcessiveLossError{
+			Src:      ch.tiles[0],
+			Dst:      ch.tiles[len(ch.tiles)-1],
+			Attempts: ch.attempts - 1,
+		})
+		return
+	}
 	ch.hop(0)
 }
 
@@ -100,7 +168,8 @@ func (ch *channelRun) hop(i int) {
 	store.Acquire(func() {
 		// Link pairs from the G node of the crossed link: a dense-slice
 		// lookup via the canonical link index, no map hashing.
-		g := s.gnodes[s.cfg.Grid.LinkIndex(s.cfg.Grid.LinkFrom(from, dir))]
+		li := s.cfg.Grid.LinkIndex(s.cfg.Grid.LinkFrom(from, dir))
+		g := s.gnodes[li]
 		g.Serve(s.genLatency(), func() {
 			// Teleporter from the sending node's directional set, plus a
 			// turn penalty when the route changes axis at this node.
@@ -121,6 +190,15 @@ func (ch *channelRun) hop(i int) {
 					prev := s.nodes[s.cfg.Grid.Index(from)].Storage(ch.dirs[i-1].Opposite())
 					prev.Release()
 				}
+				if ch.droppedOn(li) {
+					// The fault model dropped the batch on this link: it
+					// frees the slot it just occupied and a replacement
+					// is sent from the channel source (budget permitting).
+					store.Release()
+					s.droppedBatches++
+					ch.startBatch()
+					return
+				}
 				if i+1 < len(ch.dirs) {
 					ch.hop(i + 1)
 				} else {
@@ -129,6 +207,20 @@ func (ch *channelRun) hop(i int) {
 			})
 		})
 	})
+}
+
+// droppedOn draws the fault model's Bernoulli for a batch crossing the
+// link with the given canonical index.  On a healthy mesh — or a live
+// link with zero drop rate — it never consults the RNG, keeping the
+// draw stream of drop-free runs byte-identical to the pre-fault-layer
+// simulator.
+func (ch *channelRun) droppedOn(li int) bool {
+	s := ch.sim
+	if s.faults == nil {
+		return false
+	}
+	rate := s.faults.DropByIndex(li)
+	return rate > 0 && s.rng.Float64() < rate
 }
 
 // arrive runs the endpoint stages for one batch: correction, then
@@ -241,6 +333,10 @@ func (s *simulator) result(prog workload.Program) Result {
 	msgs, _, _, _ := s.net.Stats()
 	res.ClassicalMessages = msgs
 	res.FailedBatches = s.failedBatches
+	res.DroppedBatches = s.droppedBatches
+	if s.faults != nil {
+		res.DeadLinks = s.faults.DeadCount()
+	}
 	if s.latencies.Count() > 0 {
 		res.MeanChannelLatency = time.Duration(s.latencies.Mean())
 		res.MaxChannelLatency = time.Duration(s.latencies.Max())

@@ -10,6 +10,23 @@ import (
 	"repro/internal/workload"
 )
 
+// StallError reports that the event loop drained before the program
+// finished: some operation is blocked forever (historically, a routing
+// policy whose turn model admits a dependency cycle).  The simulator
+// detects the stall and returns this structured error instead of
+// hanging — the engine has no pending events for blocked waiters, so a
+// deadlocked run terminates immediately.
+type StallError struct {
+	// Completed and Total are the program's finished and total op
+	// counts at the stall.
+	Completed, Total int
+}
+
+// Error renders the stall.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("netsim: simulation stalled with %d/%d ops done", e.Completed, e.Total)
+}
+
 // Detail carries per-component statistics of a run, for bottleneck
 // analysis and visualization.  It accompanies Result (which stays a
 // flat, comparable summary).
@@ -52,8 +69,14 @@ func RunDetailedContext(ctx context.Context, cfg Config, prog workload.Program) 
 	if _, err := s.engine.RunContext(ctx, 0); err != nil {
 		return Result{}, nil, fmt.Errorf("netsim: run aborted: %w", err)
 	}
+	if s.err != nil {
+		// A structured mid-run abort (blocked route, partitioned pair,
+		// exhausted resend budget): the event loop drained cleanly, the
+		// error explains why the program could not complete.
+		return Result{}, nil, s.err
+	}
 	if !s.sch.Done() {
-		return Result{}, nil, fmt.Errorf("netsim: simulation stalled with %d/%d ops done", s.sch.Completed(), s.sch.Len())
+		return Result{}, nil, &StallError{Completed: s.sch.Completed(), Total: s.sch.Len()}
 	}
 
 	d := &Detail{Grid: cfg.Grid}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/classical"
 	"repro/internal/ecc"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/phys"
 	"repro/internal/route"
@@ -106,8 +107,15 @@ type Config struct {
 	// purifier rebuilds the lost subtree naturally, Figure 14).  Zero
 	// disables injection and keeps the simulation fully deterministic.
 	PurifyFailureRate float64
-	// Seed drives the failure-injection RNG; runs with equal seeds are
-	// reproducible.
+	// Faults is the mesh fault spec: dead links, per-link batch drops
+	// and degraded-fidelity regions, materialized from the run's seeded
+	// RNG at build time (before any failure-injection draw, so
+	// fault.Preview reproduces the exact pattern).  The zero Spec is a
+	// healthy mesh and leaves the simulation byte-identical to a build
+	// without the fault layer.
+	Faults fault.Spec
+	// Seed drives the failure-injection and fault-materialization RNG;
+	// runs with equal seeds are reproducible.
 	Seed int64
 }
 
@@ -155,6 +163,9 @@ func (c Config) Validate() error {
 	if c.PurifyFailureRate < 0 || c.PurifyFailureRate >= 1 {
 		return fmt.Errorf("netsim: purify failure rate must be in [0,1), got %g", c.PurifyFailureRate)
 	}
+	if err := c.Faults.Validate(c.Grid); err != nil {
+		return fmt.Errorf("netsim: %w", err)
+	}
 	return nil
 }
 
@@ -186,6 +197,15 @@ type Result struct {
 	// every batch of every channel.  Dimension-order routing turns at
 	// most once per path; zigzag turns at almost every hop.
 	Turns uint64
+	// DroppedBatches counts batches lost in flight to fault-model link
+	// drops (each triggering a resend from the channel source).  The
+	// json tag keeps a healthy run's serialized Result — and the parity
+	// goldens — byte-identical to the pre-fault-layer form.
+	DroppedBatches uint64 `json:",omitempty"`
+	// DeadLinks is the number of mesh links the fault model disabled
+	// for this run (0 on a healthy mesh; omitted from JSON then, like
+	// DroppedBatches).
+	DeadLinks int `json:",omitempty"`
 	// Events is the number of simulation events processed.
 	Events uint64
 	// ClassicalMessages is the classical control message count.
@@ -226,13 +246,30 @@ type simulator struct {
 	numBatches int
 	code       ecc.Code
 
-	channels      uint64
-	localOps      uint64
-	pairHops      uint64
-	turns         uint64
-	failedBatches uint64
-	rng           *rand.Rand
-	latencies     sim.Tally
+	channels       uint64
+	localOps       uint64
+	pairHops       uint64
+	turns          uint64
+	failedBatches  uint64
+	droppedBatches uint64
+	// faults is the run's materialized fault pattern; nil for a healthy
+	// mesh (the common case, costing nothing on the hot path).
+	faults *fault.Model
+	// err records the first structured abort (blocked route, partition,
+	// exhausted resend budget); once set, no new work is issued and the
+	// event loop drains, so the run terminates with this error instead
+	// of stalling.
+	err       error
+	rng       *rand.Rand
+	latencies sim.Tally
+}
+
+// fail records the first abort error; callbacks check s.err and stop
+// issuing work, so the engine drains deterministically.
+func (s *simulator) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
 }
 
 // Run executes the program on the configured machine and returns the
@@ -372,6 +409,15 @@ func (s *simulator) build(prog workload.Program) error {
 	// identically-seeded points without interleaving draws.
 	s.rng = rand.New(rand.NewSource(cfg.Seed))
 
+	// The fault model draws first, before any failure-injection draw,
+	// so the pattern is a pure function of (spec, grid, seed) and
+	// fault.Preview reproduces it exactly.  An empty spec consumes no
+	// draws and yields a nil model — the healthy fast path.
+	s.faults, err = cfg.Faults.Build(cfg.Grid, s.rng)
+	if err != nil {
+		return err
+	}
+
 	s.pos = make([]mesh.Coord, prog.Qubits)
 	s.lastOp = make([]int, prog.Qubits)
 	for q := range s.pos {
@@ -394,9 +440,10 @@ func (s *simulator) build(prog workload.Program) error {
 	return nil
 }
 
-// tryIssue starts every currently-ready op.
+// tryIssue starts every currently-ready op; an aborted run issues
+// nothing more, so in-flight events drain and the engine terminates.
 func (s *simulator) tryIssue() {
-	for {
+	for s.err == nil {
 		id, op, ok := s.sch.Issue()
 		if !ok {
 			return

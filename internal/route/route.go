@@ -383,7 +383,9 @@ func Names() []string {
 }
 
 // Parse resolves a policy by its canonical name (case-insensitive).
-// The empty string resolves to the default policy.
+// The empty string resolves to the default policy.  Beyond the
+// Policies() comparison set, Parse also recognizes "fault-adaptive",
+// the escape-channel policy for meshes with dead links.
 func Parse(name string) (Policy, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
 	if n == "" {
@@ -394,7 +396,11 @@ func Parse(name string) (Policy, error) {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("route: unknown policy %q (want %s)", name, strings.Join(Names(), ", "))
+	if fa := FaultAdaptive(); fa.Name() == n {
+		return fa, nil
+	}
+	known := append(Names(), FaultAdaptive().Name())
+	return nil, fmt.Errorf("route: unknown policy %q (want %s)", name, strings.Join(known, ", "))
 }
 
 // ParseList resolves a comma-separated list of policy names, e.g.

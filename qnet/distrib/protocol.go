@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"repro/qnet"
+	"repro/qnet/fault"
 	"repro/qnet/route"
 	"repro/qnet/simulate"
 )
@@ -58,6 +59,11 @@ type SpaceSpec struct {
 	// Routings are the routing policies to sweep, by canonical name
 	// (empty: dimension-order routing).
 	Routings []string `json:"routings,omitempty"`
+	// Faults are the mesh fault specs to sweep (empty: a healthy mesh).
+	// fault.Spec is already plain serializable data, so the wire form is
+	// the spec itself; both sides materialize identical per-point fault
+	// patterns because patterns are drawn from the point's seed.
+	Faults []fault.Spec `json:"faults,omitempty"`
 	// Seeds is the seed ensemble (empty: seed 0).
 	Seeds []int64 `json:"seeds,omitempty"`
 	// FailureRate is the purification failure-injection rate applied
@@ -73,6 +79,7 @@ func (s SpaceSpec) Space() (simulate.Space, error) {
 		Resources: s.Resources,
 		Programs:  s.Programs,
 		Depths:    s.Depths,
+		Faults:    s.Faults,
 		Seeds:     s.Seeds,
 	}
 	for _, name := range s.Layouts {
@@ -85,7 +92,10 @@ func (s SpaceSpec) Space() (simulate.Space, error) {
 	for _, name := range s.Routings {
 		p, err := route.Parse(name)
 		if err != nil {
-			return simulate.Space{}, err
+			// route.Parse's error is a plain string; wrap it into the
+			// structured form every other wire-validation failure uses,
+			// so coordinators can errors.As-match bad specs uniformly.
+			return simulate.Space{}, &qnet.ConfigError{Field: "Routings", Value: name, Reason: err.Error()}
 		}
 		sp.Routings = append(sp.Routings, p)
 	}

@@ -1,0 +1,181 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/qnet"
+	"repro/qnet/fault"
+	"repro/qnet/simulate"
+)
+
+// TestSpaceSpecWireRoundTrip drives every optional dimension — the
+// fault dimension included — through the wire: spec → JSON → spec must
+// be lossless, and the resolved Space must carry the same dimensions
+// (by canonical name for the parsed ones), so coordinator and worker
+// expand the identical point list.
+func TestSpaceSpecWireRoundTrip(t *testing.T) {
+	grid, err := qnet.NewGrid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SpaceSpec{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []string{"HomeBase"},
+		Resources: []simulate.Resources{{Teleporters: 8, Generators: 8, Purifiers: 4}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*SpaceSpec)
+		wantSize int
+	}{
+		{"minimal", func(s *SpaceSpec) {}, 1},
+		{"seeds and depths", func(s *SpaceSpec) {
+			s.Depths = []int{1, 3}
+			s.Seeds = []int64{1, 2, 3}
+		}, 6},
+		{"routings incl fault-adaptive", func(s *SpaceSpec) {
+			s.Routings = []string{"xy", "zigzag", "fault-adaptive"}
+		}, 3},
+		{"fault dimension", func(s *SpaceSpec) {
+			s.Faults = []fault.Spec{
+				{},
+				{DeadLinks: 0.1},
+				{Drop: 0.02, Regions: []fault.Region{{X: 0, Y: 0, W: 2, H: 2, Drop: 0.1}}},
+			}
+			s.Routings = []string{"fault-adaptive"}
+		}, 3},
+		{"every dimension", func(s *SpaceSpec) {
+			s.Layouts = []string{"HomeBase", "MobileQubit"}
+			s.Depths = []int{2, 3}
+			s.Routings = []string{"xy", "fault-adaptive"}
+			s.Faults = []fault.Spec{{}, {DeadLinks: 0.05, Drop: 0.01}}
+			s.Seeds = []int64{7, 8}
+			s.FailureRate = 0.05
+		}, 2 * 2 * 2 * 2 * 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.mutate(&spec)
+
+			b, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			var wired SpaceSpec
+			if err := json.Unmarshal(b, &wired); err != nil {
+				t.Fatalf("Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(spec, wired) {
+				t.Fatalf("wire round trip lossy:\n sent: %+v\n got:  %+v", spec, wired)
+			}
+
+			space, err := wired.Space()
+			if err != nil {
+				t.Fatalf("Space: %v", err)
+			}
+			if got := space.Size(); got != tc.wantSize {
+				t.Fatalf("Size = %d, want %d", got, tc.wantSize)
+			}
+			if n, err := wired.Size(); err != nil || n != tc.wantSize {
+				t.Fatalf("spec.Size() = %d, %v", n, err)
+			}
+			if got := RoutingNames(space.Routings); !reflect.DeepEqual(got, spec.Routings) &&
+				!(len(got) == 0 && len(spec.Routings) == 0) {
+				t.Fatalf("routings survived as %v, want %v", got, spec.Routings)
+			}
+			if !reflect.DeepEqual(space.Faults, spec.Faults) {
+				t.Fatalf("fault dimension survived as %v, want %v", space.Faults, spec.Faults)
+			}
+		})
+	}
+}
+
+// TestSpaceSpecFaultPointsBothSides expands a fault-dimension spec on
+// "both sides of the wire" and checks point-by-point identity — the
+// property shard dispatch depends on: an index computed by the
+// coordinator selects the same configuration on the worker.
+func TestSpaceSpecFaultPointsBothSides(t *testing.T) {
+	grid, err := qnet.NewGrid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SpaceSpec{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []string{"HomeBase"},
+		Resources: []simulate.Resources{{Teleporters: 4, Generators: 4, Purifiers: 2}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Routings:  []string{"fault-adaptive"},
+		Faults:    []fault.Spec{{}, {DeadLinks: 0.15}},
+		Seeds:     []int64{1, 2},
+	}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wired SpaceSpec
+	if err := json.Unmarshal(b, &wired); err != nil {
+		t.Fatal(err)
+	}
+	expand := func(s SpaceSpec) []string {
+		space, err := s.Space()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := simulate.Sweep(t.Context(), space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, len(pts))
+		for i, pt := range pts {
+			ids[i] = pt.Point.RoutingName() + "/" + pt.Point.FaultsName() +
+				"/" + pt.Point.Program.Name
+		}
+		return ids
+	}
+	coordinator, worker := expand(spec), expand(wired)
+	if !reflect.DeepEqual(coordinator, worker) {
+		t.Fatalf("expansions differ:\ncoordinator: %v\nworker:      %v", coordinator, worker)
+	}
+}
+
+// TestSpaceSpecStructuredErrors pins the wire layer's rejection
+// contract: unknown routing and layout names fail with a
+// *qnet.ConfigError naming the offending field and value, matchable
+// with errors.As like every other validation failure.
+func TestSpaceSpecStructuredErrors(t *testing.T) {
+	base := testSpec(t)
+	cases := []struct {
+		name      string
+		mutate    func(*SpaceSpec)
+		wantField string
+		wantValue any
+	}{
+		{"unknown routing", func(s *SpaceSpec) { s.Routings = []string{"warp"} }, "Routings", "warp"},
+		{"unknown layout", func(s *SpaceSpec) { s.Layouts = []string{"openplan"} }, "Layout", "openplan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.mutate(&spec)
+			_, err := spec.Space()
+			var cerr *qnet.ConfigError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("got %v (%T), want *qnet.ConfigError", err, err)
+			}
+			if cerr.Field != tc.wantField {
+				t.Fatalf("error names field %q, want %q", cerr.Field, tc.wantField)
+			}
+			if cerr.Value != tc.wantValue {
+				t.Fatalf("error carries value %v, want %v", cerr.Value, tc.wantValue)
+			}
+			if !errors.Is(err, qnet.ErrInvalidConfig) {
+				t.Fatal("ConfigError must unwrap to ErrInvalidConfig")
+			}
+		})
+	}
+}

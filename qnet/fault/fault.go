@@ -1,0 +1,68 @@
+// Package fault is the public mesh fault-model API: declarative fault
+// specs (dead links, transient per-link drop probability, degraded-
+// fidelity regions) that the simulator materializes from its per-run
+// seeded RNG — so fault patterns are reproducible, content-addressable
+// by the result cache, and sweepable as a first-class dimension.
+//
+// Attach a spec to a machine with simulate.WithFaults, or sweep over
+// several with simulate.Space.Faults:
+//
+//	m, err := simulate.New(grid, simulate.MobileQubit,
+//		simulate.WithRouting(route.FaultAdaptive()),
+//		simulate.WithSeed(7),
+//		simulate.WithFaults(fault.Spec{DeadLinks: 0.05, Drop: 0.01}))
+//
+// A run on a faulty mesh completes or fails with a structured error —
+// *UnreachableError (dead links partition a communicating pair),
+// *RouteBlockedError (a fault-oblivious policy's path crosses a dead
+// link; switch to route.FaultAdaptive) or *ExcessiveLossError (drop
+// rates exceed the channel resend budget) — never a hang: blocked work
+// leaves the event engine without pending events, so even a deadlocked
+// configuration terminates immediately with a structured error.
+//
+// Preview materializes a spec exactly as a run with the same seed
+// will, for inspecting the drawn pattern (dead-link count,
+// connectivity) without simulating.  The zero Spec means a healthy
+// mesh and reproduces the fault-free simulator byte for byte.
+package fault
+
+import (
+	"repro/internal/fault"
+
+	"repro/qnet"
+)
+
+// Spec declares a fault pattern: the dead-link fraction, the baseline
+// per-link batch-drop probability, and degraded-fidelity regions.  The
+// zero value is a healthy mesh.
+type Spec = fault.Spec
+
+// Region is one degraded-fidelity rectangle: links touching it pay an
+// extra per-batch drop probability on top of the spec's baseline.
+type Region = fault.Region
+
+// Model is one run's materialized fault pattern: per-link death and
+// drop rates plus the escape ranks fault-adaptive routing uses.  It is
+// immutable and safe for concurrent reads.
+type Model = fault.Model
+
+// UnreachableError reports that dead links partition a communicating
+// pair: no live path connects the endpoints under any routing policy.
+type UnreachableError = fault.UnreachableError
+
+// RouteBlockedError reports that a fault-oblivious routing policy's
+// path crosses a dead link; route.FaultAdaptive escapes around holes.
+type RouteBlockedError = fault.RouteBlockedError
+
+// ExcessiveLossError reports that one channel exhausted its resend
+// budget: the spec's drop rates are severing the channel, so the run
+// aborts with this error instead of simulating unboundedly.
+type ExcessiveLossError = fault.ExcessiveLossError
+
+// Preview materializes the spec exactly as a simulation run with the
+// given seed will — a fresh seeded RNG, faults drawn first — so the
+// pattern can be inspected before (or without) paying for the run.  A
+// nil model with nil error means the spec is empty (healthy mesh).
+func Preview(sp Spec, g qnet.Grid, seed int64) (*Model, error) {
+	return fault.Preview(sp, g, seed)
+}

@@ -1,0 +1,335 @@
+// The fault-model invariant suite: the harness that makes the fault
+// subsystem trustworthy.  It drives meshes from 5x5 up to 32x32 (1024
+// routers) across several fault densities and every shipped routing
+// policy, and asserts the contract the package documentation promises:
+//
+//  1. Completes or fails structurally: a run on a faulty mesh either
+//     returns a Result or one of the documented structured errors —
+//     never a plain string, never a hang.
+//  2. Bounded: every run finishes within a generous wall-clock budget
+//     (a deadlock would blow it; the context aborts and fails the test
+//     instead of wedging the suite).
+//  3. Leak-free: the goroutine count settles back to its baseline
+//     after every run, including aborted ones.
+//  4. Reproducible: rerunning the identical configuration and seed
+//     yields a byte-identical JSON result (or the identical error).
+//  5. Transparent when empty: the zero Spec reproduces the fault-free
+//     simulator byte for byte.
+//
+// `go test -short` scales the suite down (8x8 ceiling, fewer reruns)
+// for the race-detector CI job; the full run covers the 1024-router
+// meshes.
+package fault_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/fault"
+	"repro/qnet/route"
+	"repro/qnet/simulate"
+)
+
+// runBudget bounds one simulation run.  A healthy run at these
+// parameters takes well under a second; the budget exists so a routing
+// or engine deadlock fails the suite instead of hanging it.
+const runBudget = 2 * time.Minute
+
+// densities is the fault dimension of the suite: three nonzero
+// densities (the issue's minimum) bracketing light damage through
+// heavy partition-inducing damage, plus the healthy control.
+var densities = []struct {
+	name string
+	spec fault.Spec
+}{
+	{"healthy", fault.Spec{}},
+	{"light", fault.Spec{DeadLinks: 0.02, Drop: 0.005}},
+	{"medium", fault.Spec{DeadLinks: 0.08, Drop: 0.01,
+		Regions: []fault.Region{{X: 1, Y: 1, W: 3, H: 3, Drop: 0.05}}}},
+	{"heavy", fault.Spec{DeadLinks: 0.25, Drop: 0.02}},
+}
+
+// policies returns every shipped policy plus the fault-adaptive escape
+// policy the subsystem introduces.
+func policies() []route.Policy {
+	return append(route.Policies(), route.FaultAdaptive())
+}
+
+// pairsProgram builds a small deterministic workload touching qubits
+// all over an n-tile mesh: `ops` operations between pairs drawn from a
+// fixed linear congruential sequence.  QFT at 1024 qubits would be
+// half a million ops; the invariants need routes crossing the mesh,
+// not a big program.
+func pairsProgram(tiles, ops int) qnet.Program {
+	prog := qnet.Program{Name: fmt.Sprintf("pairs-%d", tiles), Qubits: tiles}
+	state := uint64(tiles)
+	next := func() int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(tiles))
+	}
+	for len(prog.Ops) < ops {
+		a, b := next(), next()
+		if a == b {
+			continue
+		}
+		prog.Ops = append(prog.Ops, qnet.Op{A: a, B: b})
+	}
+	return prog
+}
+
+// scaleCase is one mesh size of the suite with a workload sized to
+// keep the full sweep tractable.
+type scaleCase struct {
+	n   int // mesh edge; n*n routers
+	ops int
+}
+
+// scales returns the mesh sizes to drive.  The full suite tops out at
+// 32x32 = 1024 routers (the issue's scale floor); -short stops at 8x8
+// so the race-detector CI job stays fast.
+func scales(short bool) []scaleCase {
+	all := []scaleCase{{5, 60}, {8, 96}, {16, 128}, {32, 192}}
+	if short {
+		return all[:2]
+	}
+	return all
+}
+
+// buildMachine constructs the suite's standard machine: code level 0
+// and purify depth 1 keep per-channel work minimal so the suite's cost
+// is routing and fault handling, the thing under test.
+func buildMachine(t *testing.T, grid qnet.Grid, pol route.Policy, sp fault.Spec, seed int64) *simulate.Machine {
+	t.Helper()
+	m, err := simulate.New(grid, simulate.HomeBase,
+		simulate.WithResources(4, 4, 2),
+		simulate.WithPurifyDepth(1),
+		simulate.WithCodeLevel(0),
+		simulate.WithRouting(pol),
+		simulate.WithSeed(seed),
+		simulate.WithFaults(sp))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// structuredFaultError reports whether err is one of the documented
+// structured outcomes of a faulty run.
+func structuredFaultError(err error) bool {
+	var unreachable *fault.UnreachableError
+	var blocked *fault.RouteBlockedError
+	var loss *fault.ExcessiveLossError
+	var stall *simulate.StallError
+	return errors.As(err, &unreachable) || errors.As(err, &blocked) ||
+		errors.As(err, &loss) || errors.As(err, &stall)
+}
+
+// outcome is a run's comparable fingerprint: the full result as
+// canonical JSON, or the error string.
+func outcome(res simulate.Result, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	b, jerr := json.Marshal(res)
+	if jerr != nil {
+		panic(jerr)
+	}
+	return string(b)
+}
+
+// runOnce executes one configuration under the suite's wall-clock
+// budget and checks invariants 1 and 2.
+func runOnce(t *testing.T, grid qnet.Grid, pol route.Policy, sp fault.Spec, seed int64, prog qnet.Program) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), runBudget)
+	defer cancel()
+	m := buildMachine(t, grid, pol, sp, seed)
+	res, err := m.Run(ctx, prog)
+	if ctxErr := context.Cause(ctx); ctxErr != nil && errors.Is(ctxErr, context.DeadlineExceeded) {
+		t.Fatalf("run exceeded %v — likely deadlock (policy %s, faults %s)", runBudget, pol.Name(), sp)
+	}
+	if err != nil {
+		if sp.Empty() {
+			t.Fatalf("healthy mesh must not fail, got: %v", err)
+		}
+		if !structuredFaultError(err) {
+			t.Fatalf("unstructured error from faulty run: %v (%T)", err, err)
+		}
+	}
+	return outcome(res, err)
+}
+
+// settleGoroutines waits for the goroutine count to drop back to at
+// most base, failing the test if it never does (invariant 3).
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestInvariantsAtScale is the headline suite: every scale x density x
+// policy combination upholds the five invariants.
+func TestInvariantsAtScale(t *testing.T) {
+	for _, sc := range scales(testing.Short()) {
+		sc := sc
+		t.Run(fmt.Sprintf("%dx%d", sc.n, sc.n), func(t *testing.T) {
+			grid, err := qnet.NewGrid(sc.n, sc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := pairsProgram(grid.Tiles(), sc.ops)
+			for _, d := range densities {
+				for _, pol := range policies() {
+					name := fmt.Sprintf("%s/%s", d.name, pol.Name())
+					t.Run(name, func(t *testing.T) {
+						// The leak baseline is captured inside the leaf:
+						// the nested t.Run tRunner goroutines above this
+						// one are alive for the leaf's whole lifetime and
+						// are not the simulator's to clean up.
+						baseline := runtime.NumGoroutine()
+						seed := int64(sc.n)
+						first := runOnce(t, grid, pol, d.spec, seed, prog)
+						settleGoroutines(t, baseline)
+						// Invariant 4: rerun the identical configuration.
+						// On the big meshes only the fault-adaptive policy
+						// reruns, to keep the full suite's cost linear in
+						// the interesting dimension.
+						if sc.n <= 8 || pol.Name() == "fault-adaptive" {
+							second := runOnce(t, grid, pol, d.spec, seed, prog)
+							if first != second {
+								t.Fatalf("rerun diverged:\n first: %.200s\nsecond: %.200s", first, second)
+							}
+							settleGoroutines(t, baseline)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestEmptySpecIsByteTransparent pins invariant 5 directly: attaching
+// the zero Spec must not perturb the simulation in any way — same
+// bytes as a machine built without WithFaults at all.
+func TestEmptySpecIsByteTransparent(t *testing.T) {
+	grid, err := qnet.NewGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := qnet.QFT(grid.Tiles())
+	run := func(opts ...simulate.Option) string {
+		t.Helper()
+		base := []simulate.Option{
+			simulate.WithSeed(11),
+			simulate.WithFailureRate(0.05),
+		}
+		m, err := simulate.New(grid, simulate.HomeBase, append(base, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(context.Background(), prog)
+		return outcome(res, err)
+	}
+	bare := run()
+	empty := run(simulate.WithFaults(fault.Spec{}))
+	if bare != empty {
+		t.Fatalf("empty fault spec perturbed the run:\n bare: %.200s\nfault: %.200s", bare, empty)
+	}
+}
+
+// TestSeedSelectsPattern pins that the fault pattern is a function of
+// the run seed: different seeds draw different patterns (almost
+// surely, at this density), and Preview replicates exactly what the
+// run materialized — the dead-link count the Result reports.
+func TestSeedSelectsPattern(t *testing.T) {
+	grid, err := qnet.NewGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := fault.Spec{DeadLinks: 0.15}
+	prog := pairsProgram(grid.Tiles(), 16)
+	deadBySeed := make(map[int64]int)
+	for seed := int64(1); seed <= 4; seed++ {
+		model, err := fault.Preview(sp, grid, seed)
+		if err != nil {
+			t.Fatalf("Preview(seed=%d): %v", seed, err)
+		}
+		deadBySeed[seed] = model.DeadCount()
+
+		m := buildMachine(t, grid, route.FaultAdaptive(), sp, seed)
+		res, err := m.Run(context.Background(), prog)
+		if err != nil {
+			if !structuredFaultError(err) {
+				t.Fatalf("seed %d: unstructured error: %v", seed, err)
+			}
+			continue
+		}
+		if res.DeadLinks != model.DeadCount() {
+			t.Fatalf("seed %d: run reported %d dead links, Preview drew %d",
+				seed, res.DeadLinks, model.DeadCount())
+		}
+	}
+	distinct := make(map[int]bool)
+	for _, n := range deadBySeed {
+		distinct[n] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("four seeds drew identical dead-link counts %v — pattern not seed-dependent?", deadBySeed)
+	}
+}
+
+// TestFaultsAsSweepDimension drives the fault dimension through the
+// sweep engine end to end: Space.Faults expands into per-spec points,
+// healthy points succeed, faulty points complete-or-structurally-fail,
+// and the point list is deterministic across expansions.
+func TestFaultsAsSweepDimension(t *testing.T) {
+	grid, err := qnet.NewGrid(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := simulate.Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []simulate.Layout{simulate.HomeBase},
+		Resources: []simulate.Resources{{Teleporters: 4, Generators: 4, Purifiers: 2}},
+		Programs:  []qnet.Program{pairsProgram(grid.Tiles(), 12)},
+		Depths:    []int{1},
+		Routings:  []route.Policy{route.FaultAdaptive()},
+		Faults:    []fault.Spec{{}, {DeadLinks: 0.1}, {Drop: 0.02}},
+		Seeds:     []int64{1, 2},
+	}
+	if got, want := space.Size(), 3*2; got != want {
+		t.Fatalf("Size() = %d, want %d", got, want)
+	}
+	points, err := simulate.Sweep(context.Background(), space)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(points) != space.Size() {
+		t.Fatalf("got %d points, want %d", len(points), space.Size())
+	}
+	for _, pt := range points {
+		if pt.Err != nil {
+			if pt.Point.Faults.Empty() {
+				t.Errorf("healthy point %d failed: %v", pt.Point.Index, pt.Err)
+			} else if !structuredFaultError(pt.Err) {
+				t.Errorf("point %d (faults %s): unstructured error: %v",
+					pt.Point.Index, pt.Point.Faults, pt.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Property tests for the routing layer, via Go native fuzzing.  The
+// seeded corpus pins the interesting shapes (degenerate 1xN meshes,
+// same-tile routes, corner-to-corner diagonals, every policy index);
+// `go test` replays the corpus as ordinary tests, and `go test
+// -fuzz=FuzzPolicyRoutes ./qnet/route` explores beyond it.
+package route_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/qnet"
+	"repro/qnet/route"
+)
+
+// fuzzPolicies is the set under test: every shipped policy plus the
+// fault-adaptive escape policy (healthy-mesh mode, nil fault model).
+func fuzzPolicies() []route.Policy {
+	return append(route.Policies(), route.FaultAdaptive())
+}
+
+func FuzzPolicyRoutes(f *testing.F) {
+	// Corpus: mesh extremes x endpoint extremes x every policy.
+	f.Add(uint8(8), uint8(8), uint16(0), uint16(63), uint8(0))
+	f.Add(uint8(1), uint8(16), uint16(0), uint16(15), uint8(1))
+	f.Add(uint8(16), uint8(1), uint16(15), uint16(0), uint8(2))
+	f.Add(uint8(5), uint8(4), uint16(7), uint16(7), uint8(3))
+	f.Add(uint8(3), uint8(3), uint16(8), uint16(0), uint8(4))
+	f.Add(uint8(12), uint8(7), uint16(80), uint16(3), uint8(4))
+
+	f.Fuzz(func(t *testing.T, wRaw, hRaw uint8, siRaw, diRaw uint16, polRaw uint8) {
+		w, h := 1+int(wRaw)%16, 1+int(hRaw)%16
+		grid, err := qnet.NewGrid(w, h)
+		if err != nil {
+			t.Fatalf("NewGrid(%d,%d): %v", w, h, err)
+		}
+		pols := fuzzPolicies()
+		pol := pols[int(polRaw)%len(pols)]
+		src := grid.CoordOf(int(siRaw) % grid.Tiles())
+		dst := grid.CoordOf(int(diRaw) % grid.Tiles())
+
+		dirs, err := pol.Route(grid, src, dst, nil)
+		if err != nil {
+			t.Fatalf("%s.Route(%v,%v) on %dx%d: %v", pol.Name(), src, dst, w, h, err)
+		}
+
+		// Property 1: the path is contiguous and in-bounds, and ends
+		// at dst.
+		cur := src
+		for i, d := range dirs {
+			cur = cur.Step(d)
+			if !grid.Contains(cur) {
+				t.Fatalf("%s.Route(%v,%v): hop %d (%v) leaves the %dx%d grid at %v",
+					pol.Name(), src, dst, i, d, w, h, cur)
+			}
+		}
+		if cur != dst {
+			t.Fatalf("%s.Route(%v,%v) ends at %v", pol.Name(), src, dst, cur)
+		}
+
+		// Property 2: every policy in the set is minimal on a healthy
+		// mesh — hop count equals Manhattan distance.
+		manhattan := abs(dst.X-src.X) + abs(dst.Y-src.Y)
+		if len(dirs) != manhattan {
+			t.Fatalf("%s.Route(%v,%v) takes %d hops, minimal is %d",
+				pol.Name(), src, dst, len(dirs), manhattan)
+		}
+
+		// Property 3: equal inputs produce identical paths.  This is
+		// the Policy contract for every implementation (adaptive ones
+		// included — their variation comes only through Loads, which is
+		// pinned to nil here), and what the per-run route cache and the
+		// byte-identical-rerun guarantee lean on.
+		again, err := pol.Route(grid, src, dst, nil)
+		if err != nil {
+			t.Fatalf("%s.Route repeat errored: %v", pol.Name(), err)
+		}
+		if !reflect.DeepEqual(dirs, again) {
+			t.Fatalf("%s.Route(%v,%v) is nondeterministic:\n first: %v\nsecond: %v",
+				pol.Name(), src, dst, dirs, again)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// FuzzParse asserts the name parser never panics and stays consistent
+// with NameOf: any string either parses to a policy whose canonical
+// name reparses to the same policy type, or fails with an error.
+func FuzzParse(f *testing.F) {
+	f.Add("xy")
+	f.Add("fault-adaptive")
+	f.Add("LEAST-CONGESTED")
+	f.Add("")
+	f.Add("bogus")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, err := route.Parse(name)
+		if err != nil {
+			return
+		}
+		back, err := route.Parse(route.NameOf(p))
+		if err != nil {
+			t.Fatalf("canonical name %q of parsed %q does not reparse: %v", route.NameOf(p), name, err)
+		}
+		if route.NameOf(back) != route.NameOf(p) {
+			t.Fatalf("Parse/NameOf not stable: %q -> %q", route.NameOf(p), route.NameOf(back))
+		}
+	})
+}

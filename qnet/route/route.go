@@ -22,6 +22,13 @@
 //
 // All shipped policies are minimal (hop count = Manhattan distance);
 // they differ only in where they turn and which links they load.
+//
+// A fifth policy, FaultAdaptive ("fault-adaptive"), routes around dead
+// links on meshes with an attached fault model (qnet/fault,
+// simulate.WithFaults) using an escape-channel (up*/down*) extension
+// of the negative-first turn model, staying deadlock-free for any
+// fault pattern.  It is not part of Policies() — the healthy-mesh
+// comparison set — but Parse recognizes its name.
 package route
 
 import (
@@ -78,6 +85,26 @@ func ZigZag() Policy { return route.ZigZag() }
 // negative-first turn model, which keeps it deadlock-free under the
 // router's blocking storage credits.
 func LeastCongested() Policy { return route.LeastCongested() }
+
+// Faults exposes a run's materialized fault pattern to routing: link
+// death and the escape ranks (BFS levels from tile 0 over live links).
+// *fault.Model (qnet/fault) implements it; nil means a healthy mesh.
+type Faults = route.Faults
+
+// FaultAware is the optional capability interface a Policy implements
+// to accept a fault pattern: RouteFaulty routes on the live topology,
+// avoiding dead links.  The simulator calls it instead of Route
+// whenever the run has a fault model and the policy declares the
+// capability.
+type FaultAware = route.FaultAware
+
+// FaultAdaptive returns the escape-channel policy: the shortest
+// up*/down*-legal path over the live topology, deadlock-free for any
+// fault pattern, degenerating to a negative-first minimal policy on a
+// healthy mesh.  It is the policy of choice for simulations with dead
+// links (every other shipped policy fails a blocked path with a
+// structured error).
+func FaultAdaptive() Policy { return route.FaultAdaptive() }
 
 // Default returns the default policy, XYOrder.
 func Default() Policy { return route.Default() }

@@ -45,9 +45,11 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // keyVersion is bumped whenever the canonical serialization below — or
 // the simulator's observable behaviour — changes, invalidating every
 // previously stored result.  v2: the routing policy joined the key (and
-// Result gained the Turns counter); distinct policies must never
-// collide on one key.
-const keyVersion = "qnet-result-v2"
+// Result gained the Turns counter).  v3: the fault spec joined the key
+// (dead-link fraction, drop rate, degraded regions) and Result gained
+// the DroppedBatches/DeadLinks counters; distinct fault patterns must
+// never collide on one key.
+const keyVersion = "qnet-result-v3"
 
 // hashString writes a length-prefixed string into the hash, so field
 // boundaries cannot alias ("ab"+"c" vs "a"+"bc").
@@ -76,13 +78,15 @@ func hashFloat(w io.Writer, v float64) {
 // order): the key version, every device constant of the paper's
 // Tables 1-2, the grid dimensions, the layout, the routing policy (by
 // canonical name), the per-node resource counts, purifier depth, code
-// level, hop and turn geometry, the failure rate, the effective seed,
-// and a fingerprint of the program (name, qubit count and every op).
+// level, hop and turn geometry, the failure rate, the fault spec, the
+// effective seed, and a fingerprint of the program (name, qubit count
+// and every op).
 //
-// When the failure rate is zero the simulation never consults its RNG,
-// so the seed cannot influence the result; keyFor canonicalizes the
-// seed to 0 in that case, letting multi-seed sweeps of a deterministic
-// configuration collapse to a single simulation plus cache hits.
+// When the failure rate is zero and the fault spec is empty the
+// simulation never consults its RNG, so the seed cannot influence the
+// result; keyFor canonicalizes the seed to 0 in that case, letting
+// multi-seed sweeps of a deterministic configuration collapse to a
+// single simulation plus cache hits.
 func keyFor(cfg netsim.Config, prog qnet.Program) Key {
 	h := sha256.New()
 	hashString(h, keyVersion)
@@ -114,9 +118,25 @@ func keyFor(cfg netsim.Config, prog qnet.Program) Key {
 	hashInt(h, int64(cfg.TurnCells))
 	hashFloat(h, cfg.PurifyFailureRate)
 
-	// The seed matters only when the RNG can be consulted.
+	// Fault spec, field by field in declaration order (regions length-
+	// prefixed): two machines differing in any fault knob never share a
+	// key.
+	hashFloat(h, cfg.Faults.DeadLinks)
+	hashFloat(h, cfg.Faults.Drop)
+	hashInt(h, int64(len(cfg.Faults.Regions)))
+	for _, r := range cfg.Faults.Regions {
+		hashInt(h, int64(r.X))
+		hashInt(h, int64(r.Y))
+		hashInt(h, int64(r.W))
+		hashInt(h, int64(r.H))
+		hashFloat(h, r.Drop)
+	}
+
+	// The seed matters only when the RNG can be consulted: failure
+	// injection and the fault model are its only consumers, so with
+	// both off the seed cannot influence the result.
 	seed := cfg.Seed
-	if cfg.PurifyFailureRate == 0 {
+	if cfg.PurifyFailureRate == 0 && cfg.Faults.Empty() {
 		seed = 0
 	}
 	hashInt(h, seed)

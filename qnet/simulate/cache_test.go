@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/qnet"
+	"repro/qnet/fault"
 	"repro/qnet/route"
 )
 
@@ -34,7 +35,7 @@ func goldenKeyConfig(t testing.TB) (*Machine, qnet.Program) {
 // goldenKey pins the canonical serialization: any change to the hash
 // format (field order, encoding, version string) must change keyVersion
 // and update this constant, because it invalidates every on-disk store.
-const goldenKey = "c84e892ae57c9c6853407f907f634e63d838085c24c4ffef1f6c346b70ec1e48"
+const goldenKey = "d7d5f4cc478a76335c435731b79c8b642c4583a2e85acebf88a5b2eced262c6e"
 
 // TestKeyGolden asserts the content hash of a fixed configuration is
 // stable across processes and runs — the property that makes the
@@ -103,6 +104,11 @@ func TestKeySensitivity(t *testing.T) {
 		"failure rate": build(WithResources(16, 16, 8), WithFailureRate(0.5)),
 		"params":       build(WithResources(16, 16, 8), WithParams(qnet.IonTrap2006().Scale(10))),
 		"routing":      build(WithResources(16, 16, 8), WithRouting(route.YXOrder())),
+		"dead links":   build(WithResources(16, 16, 8), WithFaults(fault.Spec{DeadLinks: 0.1})),
+		"link drop":    build(WithResources(16, 16, 8), WithFaults(fault.Spec{Drop: 0.05})),
+		"fault region": build(WithResources(16, 16, 8), WithFaults(fault.Spec{
+			Regions: []fault.Region{{X: 0, Y: 0, W: 2, H: 2, Drop: 0.2}},
+		})),
 	}
 	// The explicit default policy and the nil default canonicalize to
 	// the same name, so they must share a key: they route identically.
@@ -130,6 +136,13 @@ func TestKeySensitivity(t *testing.T) {
 	if build(WithResources(16, 16, 8), WithFailureRate(0.5), WithSeed(1)) ==
 		build(WithResources(16, 16, 8), WithFailureRate(0.5), WithSeed(2)) {
 		t.Error("seed ignored in the key of a stochastic run")
+	}
+	// Faulty runs draw their fault pattern from the seed, so the seed
+	// must matter even with failure injection off.
+	faulty := fault.Spec{DeadLinks: 0.1}
+	if build(WithResources(16, 16, 8), WithFaults(faulty), WithSeed(1)) ==
+		build(WithResources(16, 16, 8), WithFaults(faulty), WithSeed(2)) {
+		t.Error("seed ignored in the key of a faulty-mesh run")
 	}
 }
 

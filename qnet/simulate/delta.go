@@ -41,6 +41,10 @@ type ResultDelta struct {
 	ClassicalMessages int64
 	// FailedBatches is the injected-failure batch count difference.
 	FailedBatches int64
+	// DroppedBatches is the fault-model link-drop count difference.
+	DroppedBatches int64
+	// DeadLinks is the dead-link count difference.
+	DeadLinks int
 	// MeanChannelLatency is the mean channel-latency difference.
 	MeanChannelLatency time.Duration
 	// MaxChannelLatency is the worst channel-latency difference.
@@ -64,6 +68,8 @@ func Diff(a, b Result) ResultDelta {
 		Events:             int64(b.Events) - int64(a.Events),
 		ClassicalMessages:  int64(b.ClassicalMessages) - int64(a.ClassicalMessages),
 		FailedBatches:      int64(b.FailedBatches) - int64(a.FailedBatches),
+		DroppedBatches:     int64(b.DroppedBatches) - int64(a.DroppedBatches),
+		DeadLinks:          b.DeadLinks - a.DeadLinks,
 		MeanChannelLatency: b.MeanChannelLatency - a.MeanChannelLatency,
 		MaxChannelLatency:  b.MaxChannelLatency - a.MaxChannelLatency,
 		TeleporterUtil:     b.TeleporterUtil - a.TeleporterUtil,
@@ -108,6 +114,8 @@ func (d ResultDelta) String() string {
 	addInt("events", d.Events)
 	addInt("classical-msgs", d.ClassicalMessages)
 	addInt("failed-batches", d.FailedBatches)
+	addInt("dropped-batches", d.DroppedBatches)
+	addInt("dead-links", int64(d.DeadLinks))
 	addDur("mean-latency", d.MeanChannelLatency)
 	addDur("max-latency", d.MaxChannelLatency)
 	addFloat("teleporter-util", d.TeleporterUtil)

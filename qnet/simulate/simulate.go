@@ -44,6 +44,7 @@ import (
 	"repro/internal/netsim"
 
 	"repro/qnet"
+	"repro/qnet/fault"
 	"repro/qnet/route"
 )
 
@@ -67,6 +68,11 @@ type Result = netsim.Result
 // per-link utilizations, turn counts, ASCII heatmaps) for bottleneck
 // analysis.
 type Detail = netsim.Detail
+
+// StallError reports a simulation that stopped making progress before
+// every operation completed — the structured form of what would
+// otherwise be a hang, with the completed/total op counts attached.
+type StallError = netsim.StallError
 
 // machineSpec is the mutable state Options apply to: the simulator
 // configuration plus machine-level attachments (the result store).
@@ -149,6 +155,19 @@ func WithFailureRate(rate float64) Option {
 	return optionFunc(func(s *machineSpec) { s.cfg.PurifyFailureRate = rate })
 }
 
+// WithFaults attaches a mesh fault spec (qnet/fault): dead links, per-
+// link batch drops and degraded-fidelity regions, materialized from
+// the run's seeded RNG before any other draw, so the pattern is a pure
+// function of (spec, grid, seed) and fault.Preview reproduces it.  The
+// zero Spec (the default) is a healthy mesh and keeps the simulation
+// byte-identical to a machine built without the option.  On a mesh
+// with dead links, pair route.FaultAdaptive (WithRouting) to route
+// around the holes; other policies fail blocked paths with a
+// structured error.
+func WithFaults(sp fault.Spec) Option {
+	return optionFunc(func(s *machineSpec) { s.cfg.Faults = sp })
+}
+
 // Machine is a configured, validated simulated quantum computer.  It is
 // immutable after New and safe for concurrent use: every Run builds
 // fresh simulator state (including a per-run RNG), so one Machine can
@@ -221,6 +240,9 @@ func validate(cfg netsim.Config) error {
 	if cfg.PurifyFailureRate < 0 || cfg.PurifyFailureRate >= 1 {
 		return &qnet.ConfigError{Field: "FailureRate", Value: cfg.PurifyFailureRate, Reason: "must be in [0,1)"}
 	}
+	if err := cfg.Faults.Validate(cfg.Grid); err != nil {
+		return &qnet.ConfigError{Field: "Faults", Value: cfg.Faults.String(), Reason: err.Error()}
+	}
 	return nil
 }
 
@@ -240,6 +262,10 @@ func (m *Machine) RoutingName() string { return route.NameOf(m.cfg.Route) }
 
 // Seed returns the machine's base RNG seed.
 func (m *Machine) Seed() int64 { return m.cfg.Seed }
+
+// Faults returns the machine's fault spec (the zero Spec on a healthy
+// machine).
+func (m *Machine) Faults() fault.Spec { return m.cfg.Faults }
 
 // Cache returns the machine's attached result cache, or nil when the
 // machine was built without WithCache/WithCacheDir (or when the

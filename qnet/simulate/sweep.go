@@ -10,6 +10,7 @@ import (
 	"repro/internal/netsim"
 
 	"repro/qnet"
+	"repro/qnet/fault"
 	"repro/qnet/route"
 )
 
@@ -89,10 +90,11 @@ func AllocationResources(a Allocation) Resources {
 // Space is a parameter grid to sweep: the cross product of every
 // populated dimension.  Grids, Layouts, Resources and Programs are
 // required; Depths defaults to {3} (the paper's purifier depth),
-// Routings to {nil} (dimension-order routing) and Seeds to {0}.
-// Options are applied to every machine before the per-point settings,
-// so device parameters, code level, hop length or failure injection can
-// be varied machine-wide.
+// Routings to {nil} (dimension-order routing), Faults to {the zero
+// Spec} (a healthy mesh) and Seeds to {0}.  Options are applied to
+// every machine before the per-point settings, so device parameters,
+// code level, hop length or failure injection can be varied
+// machine-wide.
 type Space struct {
 	Grids     []qnet.Grid
 	Layouts   []Layout
@@ -100,6 +102,7 @@ type Space struct {
 	Programs  []qnet.Program
 	Depths    []int
 	Routings  []route.Policy
+	Faults    []fault.Spec
 	Seeds     []int64
 	Options   []Option
 }
@@ -113,6 +116,9 @@ func (sp Space) Size() int {
 	if len(sp.Routings) > 0 {
 		n *= len(sp.Routings)
 	}
+	if len(sp.Faults) > 0 {
+		n *= len(sp.Faults)
+	}
 	if len(sp.Seeds) > 0 {
 		n *= len(sp.Seeds)
 	}
@@ -121,8 +127,8 @@ func (sp Space) Size() int {
 
 // Point is one expanded configuration of a Space.  Index is the point's
 // position in the deterministic expansion order (grids ≫ layouts ≫
-// resources ≫ programs ≫ depths ≫ routings ≫ seeds, last dimension
-// fastest).
+// resources ≫ programs ≫ depths ≫ routings ≫ faults ≫ seeds, last
+// dimension fastest).
 type Point struct {
 	Index     int
 	Grid      qnet.Grid
@@ -131,6 +137,7 @@ type Point struct {
 	Program   qnet.Program
 	Depth     int
 	Routing   route.Policy
+	Faults    fault.Spec
 	Seed      int64
 }
 
@@ -138,6 +145,11 @@ type Point struct {
 // ("xy" for the nil default), the form cache keys and result grouping
 // use.
 func (p Point) RoutingName() string { return route.NameOf(p.Routing) }
+
+// FaultsName returns the canonical rendering of the point's fault spec
+// ("none" for a healthy mesh), the form result grouping and CLI tables
+// use.
+func (p Point) FaultsName() string { return p.Faults.String() }
 
 // SweepPoint is one finished run of a sweep: the point, its result, and
 // the error if the run failed (a failed point does not abort the sweep).
@@ -250,6 +262,10 @@ func (sp Space) points() ([]Point, error) {
 	if len(routings) == 0 {
 		routings = []route.Policy{nil}
 	}
+	faults := sp.Faults
+	if len(faults) == 0 {
+		faults = []fault.Spec{{}}
+	}
 	seeds := sp.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{0}
@@ -261,17 +277,20 @@ func (sp Space) points() ([]Point, error) {
 				for _, prog := range sp.Programs {
 					for _, depth := range depths {
 						for _, routing := range routings {
-							for _, seed := range seeds {
-								pts = append(pts, Point{
-									Index:     len(pts),
-									Grid:      grid,
-									Layout:    layout,
-									Resources: res,
-									Program:   prog,
-									Depth:     depth,
-									Routing:   routing,
-									Seed:      seed,
-								})
+							for _, fs := range faults {
+								for _, seed := range seeds {
+									pts = append(pts, Point{
+										Index:     len(pts),
+										Grid:      grid,
+										Layout:    layout,
+										Resources: res,
+										Program:   prog,
+										Depth:     depth,
+										Routing:   routing,
+										Faults:    fs,
+										Seed:      seed,
+									})
+								}
 							}
 						}
 					}
@@ -284,12 +303,13 @@ func (sp Space) points() ([]Point, error) {
 
 // machine builds the validated Machine for one point.
 func (sp Space) machine(pt Point) (*Machine, error) {
-	opts := make([]Option, 0, len(sp.Options)+4)
+	opts := make([]Option, 0, len(sp.Options)+5)
 	opts = append(opts, sp.Options...)
 	opts = append(opts,
 		WithResources(pt.Resources.Teleporters, pt.Resources.Generators, pt.Resources.Purifiers),
 		WithPurifyDepth(pt.Depth),
 		WithRouting(pt.Routing),
+		WithFaults(pt.Faults),
 		WithSeed(pt.Seed),
 	)
 	return New(pt.Grid, pt.Layout, opts...)

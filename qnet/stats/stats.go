@@ -248,7 +248,9 @@ type PointEnsemble struct {
 	Cached int
 }
 
-// groupKey identifies a configuration modulo seed.
+// groupKey identifies a configuration modulo seed.  Fault specs are
+// keyed by their canonical String rendering, which two equal specs
+// always share.
 type groupKey struct {
 	grid      [2]int
 	layout    simulate.Layout
@@ -257,6 +259,7 @@ type groupKey struct {
 	qubits    int
 	depth     int
 	routing   string
+	faults    string
 }
 
 // Group folds a sweep's finished points into one PointEnsemble per
@@ -284,6 +287,7 @@ func Group(points []simulate.SweepPoint) []PointEnsemble {
 			qubits:    sp.Point.Program.Qubits,
 			depth:     sp.Point.Depth,
 			routing:   sp.Point.RoutingName(),
+			faults:    sp.Point.FaultsName(),
 		}
 		pe, ok := byKey[k]
 		if !ok {

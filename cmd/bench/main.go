@@ -14,6 +14,7 @@
 //	bench -benchtime 3x    # exactly 3 iterations per benchmark
 //	bench -out report.json # alternate output path
 //	bench -check           # 1 iteration each, validate the JSON, write nothing
+//	bench -stamp 2026-08-07T00:00:00Z  # pin the generated timestamp (diff-stable reruns)
 //
 // The -check form is the CI smoke mode: it exercises every benchmark
 // body and the whole JSON emission path in seconds, failing loudly if
@@ -43,6 +44,11 @@ type report struct {
 	Go   string `json:"go"`
 	OS   string `json:"os"`
 	Arch string `json:"arch"`
+	// CPUs is the logical CPU count of the measuring machine — required
+	// context for the ParallelQFT numbers: the partitioned engine cannot
+	// beat the serial one on a single-CPU box no matter how well it
+	// scales, so speedups are only meaningful relative to this.
+	CPUs int `json:"cpus"`
 	// Generated is the RFC 3339 wall-clock time of the run.
 	Generated string `json:"generated"`
 	// Benchtime is the per-benchmark measuring budget that produced
@@ -73,12 +79,17 @@ type entry struct {
 	// distributed-sweep benchmark (0 for benchmarks that don't report
 	// it).
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	// SpeedupVsSerial is, for ParallelQFT entries with partitions > 1,
+	// the events/sec ratio against the partitions=1 entry of the same
+	// mesh (0 elsewhere).  Interpret it against CPUs.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_qft.json", "output path for the JSON report")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring budget (go test -benchtime syntax: a duration or Nx)")
 	check := flag.Bool("check", false, "smoke mode: one iteration per benchmark, validate the JSON, write nothing")
+	stamp := flag.String("stamp", "", "override the generated timestamp (RFC 3339), so reruns produce diff-stable reports")
 	// testing.Init registers the test.* flags testing.Benchmark reads
 	// its benchtime from; it must run before flag.Parse.
 	testing.Init()
@@ -92,18 +103,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	generated := time.Now().UTC().Format(time.RFC3339)
+	if *stamp != "" {
+		ts, err := time.Parse(time.RFC3339, *stamp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: bad -stamp %q: %v\n", *stamp, err)
+			os.Exit(2)
+		}
+		generated = ts.UTC().Format(time.RFC3339)
+	}
 	rep := report{
 		Schema:    "qnet-bench-v1",
 		Go:        runtime.Version(),
 		OS:        runtime.GOOS,
 		Arch:      runtime.GOARCH,
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		CPUs:      runtime.NumCPU(),
+		Generated: generated,
 		Benchtime: *benchtime,
 	}
 	for _, b := range benchmarks() {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", b.name)
 		rep.Benchmarks = append(rep.Benchmarks, measure(b.name, b.fn))
 	}
+	fillSpeedups(rep.Benchmarks)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -160,9 +182,49 @@ func benchmarks() []namedBench {
 			fn:   perfbench.QFTRun(cfg.Layout, cfg.Policy),
 		})
 	}
+	for _, edge := range perfbench.ParallelQFTEdges {
+		for _, parts := range perfbench.ParallelQFTPartitions {
+			list = append(list, namedBench{
+				name: parallelName(edge, parts),
+				fn:   perfbench.ParallelQFT(edge, parts),
+			})
+		}
+	}
 	list = append(list, namedBench{name: "Sweep/workers=8", fn: perfbench.SweepWorkers(8)})
 	list = append(list, namedBench{name: "DistribSweep/workers=2", fn: perfbench.DistributedSweep(2)})
 	return list
+}
+
+// parallelName is the report name of one ParallelQFT cell.
+func parallelName(edge, partitions int) string {
+	return fmt.Sprintf("ParallelQFT/mesh=%dx%d/partitions=%d", edge, edge, partitions)
+}
+
+// fillSpeedups derives SpeedupVsSerial for every ParallelQFT entry with
+// partitions > 1 from the partitions=1 entry of the same mesh.
+func fillSpeedups(entries []entry) {
+	serial := make(map[int]float64)
+	for _, edge := range perfbench.ParallelQFTEdges {
+		for i := range entries {
+			if entries[i].Name == parallelName(edge, 1) {
+				serial[edge] = entries[i].EventsPerSec
+			}
+		}
+		base := serial[edge]
+		if base <= 0 {
+			continue
+		}
+		for _, parts := range perfbench.ParallelQFTPartitions {
+			if parts == 1 {
+				continue
+			}
+			for i := range entries {
+				if entries[i].Name == parallelName(edge, parts) && entries[i].EventsPerSec > 0 {
+					entries[i].SpeedupVsSerial = entries[i].EventsPerSec / base
+				}
+			}
+		}
+	}
 }
 
 // measure runs one benchmark body through testing.Benchmark and
@@ -213,6 +275,29 @@ func validate(data []byte) error {
 			return fmt.Errorf("%s: allocs/op = %d", e.Name, e.AllocsPerOp)
 		}
 		seen[e.Name] = true
+	}
+	// The ParallelQFT matrix must be complete and carry throughput:
+	// every (mesh, partitions) cell, each with a positive events/sec,
+	// and a derived speedup on every multi-partition cell.  A report
+	// missing them cannot track the parallel engine's trajectory.
+	byName := make(map[string]entry, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		byName[e.Name] = e
+	}
+	for _, edge := range perfbench.ParallelQFTEdges {
+		for _, parts := range perfbench.ParallelQFTPartitions {
+			name := parallelName(edge, parts)
+			e, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("missing benchmark %q", name)
+			}
+			if e.EventsPerSec <= 0 {
+				return fmt.Errorf("%s: events/sec = %g", name, e.EventsPerSec)
+			}
+			if parts > 1 && e.SpeedupVsSerial <= 0 {
+				return fmt.Errorf("%s: speedup_vs_serial = %g", name, e.SpeedupVsSerial)
+			}
+		}
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	qnetsim -grid 12 -timeout 30s                   # bounded run
 //	qnetsim -route zigzag                           # routing policy (xy, yx, zigzag, least-congested)
 //	qnetsim -cache-dir .qnet                        # warm re-runs hit the result cache
+//	qnetsim -grid 16 -parallel 4                    # domain-decomposed parallel engine (byte-identical results)
 //	qnetsim -grid 16 -cpuprofile cpu.pprof          # profile the hot loop (go tool pprof cpu.pprof)
 //	qnetsim -grid 16 -memprofile mem.pprof          # heap profile after the run
 //
@@ -44,26 +45,27 @@ func main() {
 
 func realMain() int {
 	var (
-		wl      = flag.String("workload", "qft", "workload: qft, mm or me (ignored with -program)")
-		program = flag.String("program", "", "path to an instruction-stream file (see qnet.ParseProgram)")
-		gridN   = flag.Int("grid", 8, "mesh edge length")
-		layout  = flag.String("layout", "home", "layout: home or mobile")
-		t       = flag.Int("t", 16, "teleporters per T' node")
-		g       = flag.Int("g", 16, "generators per G node")
-		p       = flag.Int("p", 16, "queue purifiers per P node")
-		depth   = flag.Int("depth", 3, "queue purifier depth")
-		level   = flag.Int("level", 2, "Steane code concatenation level")
-		hopCell = flag.Int("hopcells", 600, "cells per mesh hop")
-		routeFl = flag.String("route", "xy", "routing policy: "+strings.Join(route.Names(), ", ")+", fault-adaptive")
-		failure = flag.Float64("failure", 0, "injected purification failure probability per batch")
-		fDead   = flag.Float64("fault-dead", 0, "fraction of mesh links killed before the run (use -route fault-adaptive to route around them)")
-		fDrop   = flag.Float64("fault-drop", 0, "per-hop batch drop probability on live links")
-		seed    = flag.Int64("seed", 0, "fault-pattern and failure-injection RNG seed")
-		timeout = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
-		heatmap = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
-		cache   = flag.String("cache-dir", "", "directory for the on-disk result cache (warm runs are served from it)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
-		memProf = flag.String("memprofile", "", "write a heap profile after the simulation to this file (go tool pprof)")
+		wl       = flag.String("workload", "qft", "workload: qft, mm or me (ignored with -program)")
+		program  = flag.String("program", "", "path to an instruction-stream file (see qnet.ParseProgram)")
+		gridN    = flag.Int("grid", 8, "mesh edge length")
+		layout   = flag.String("layout", "home", "layout: home or mobile")
+		t        = flag.Int("t", 16, "teleporters per T' node")
+		g        = flag.Int("g", 16, "generators per G node")
+		p        = flag.Int("p", 16, "queue purifiers per P node")
+		depth    = flag.Int("depth", 3, "queue purifier depth")
+		level    = flag.Int("level", 2, "Steane code concatenation level")
+		hopCell  = flag.Int("hopcells", 600, "cells per mesh hop")
+		routeFl  = flag.String("route", "xy", "routing policy: "+strings.Join(route.Names(), ", ")+", fault-adaptive")
+		failure  = flag.Float64("failure", 0, "injected purification failure probability per batch")
+		fDead    = flag.Float64("fault-dead", 0, "fraction of mesh links killed before the run (use -route fault-adaptive to route around them)")
+		fDrop    = flag.Float64("fault-drop", 0, "per-hop batch drop probability on live links")
+		seed     = flag.Int64("seed", 0, "fault-pattern and failure-injection RNG seed")
+		parallel = flag.Int("parallel", 0, "run on the domain-decomposed parallel engine with this many row-band regions (0 or 1 = serial; results are byte-identical)")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
+		heatmap  = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
+		cache    = flag.String("cache-dir", "", "directory for the on-disk result cache (warm runs are served from it)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the simulation to this file (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -102,7 +104,7 @@ func realMain() int {
 		workload: *wl, program: *program, gridN: *gridN, layout: *layout,
 		t: *t, g: *g, p: *p, depth: *depth, level: *level, hopCells: *hopCell,
 		route: *routeFl, failure: *failure, faultDead: *fDead, faultDrop: *fDrop,
-		seed: *seed, timeout: *timeout,
+		seed: *seed, parallel: *parallel, timeout: *timeout,
 		heatmap: *heatmap, cacheDir: *cache,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qnetsim:", err)
@@ -119,6 +121,7 @@ type opts struct {
 	failure                      float64
 	faultDead, faultDrop         float64
 	seed                         int64
+	parallel                     int
 	timeout                      time.Duration
 	heatmap                      bool
 	cacheDir                     string
@@ -178,6 +181,7 @@ func run(o opts) error {
 		simulate.WithFailureRate(o.failure),
 		simulate.WithFaults(fault.Spec{DeadLinks: o.faultDead, Drop: o.faultDrop}),
 		simulate.WithSeed(o.seed),
+		simulate.WithParallelism(o.parallel),
 	}
 	if o.cacheDir != "" {
 		mopts = append(mopts, simulate.WithCacheDir(o.cacheDir))

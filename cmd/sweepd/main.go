@@ -20,6 +20,7 @@
 //	sweepd -listen :9000
 //	sweepd -listen :9000 -cache-dir /var/qnet/store -serve-store
 //	sweepd -listen :9000 -parallel 4
+//	sweepd -listen :9000 -run-parallel 4
 //
 // With -serve-store the worker also exposes its own store over the
 // store API, so a small fleet can elect any worker as the shared
@@ -39,10 +40,11 @@ import (
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":9000", "address to serve the job API on")
-		cacheDir   = flag.String("cache-dir", "", "directory for the worker's on-disk result store (empty: in-memory)")
-		parallel   = flag.Int("parallel", 0, "points simulated concurrently per job (0 = GOMAXPROCS)")
-		serveStore = flag.Bool("serve-store", false, "also expose the worker's local store over the /v1/store API")
+		listen      = flag.String("listen", ":9000", "address to serve the job API on")
+		cacheDir    = flag.String("cache-dir", "", "directory for the worker's on-disk result store (empty: in-memory)")
+		parallel    = flag.Int("parallel", 0, "points simulated concurrently per job (0 = GOMAXPROCS)")
+		runParallel = flag.Int("run-parallel", 0, "row-band regions of the parallel event engine per simulation (0 or 1 = serial; results are byte-identical)")
+		serveStore  = flag.Bool("serve-store", false, "also expose the worker's local store over the /v1/store API")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 	worker := distrib.NewWorker(
 		distrib.WithWorkerStore(store),
 		distrib.WithWorkerParallelism(*parallel),
+		distrib.WithWorkerRunParallelism(*runParallel),
 	)
 	server := distrib.NewServer(worker)
 	defer server.Close()

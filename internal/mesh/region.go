@@ -1,0 +1,94 @@
+package mesh
+
+import "fmt"
+
+// Partition is a contiguous row-band decomposition of a grid into
+// regions, the domain decomposition of the parallel event engine: each
+// region owns a horizontal band of full rows, so every cut link is a
+// vertical (South) link between the last row of one band and the first
+// row of the next.  Build one with RowBands.
+//
+// The zero Partition is invalid; Partition values are immutable and
+// safe for concurrent use.
+type Partition struct {
+	grid Grid
+	// firstRow[r] is the first row of region r; firstRow[regions] ==
+	// Height acts as a sentinel.
+	firstRow []int
+	// regionOfRow[y] is the region owning row y.
+	regionOfRow []int
+}
+
+// RowBands decomposes the grid into n contiguous row bands of
+// near-equal height (earlier bands take the remainder rows).  When n
+// exceeds the grid height the partition clamps to one region per row —
+// the finest decomposition a row-band cut supports — so callers may
+// pass a requested parallelism directly.  n must be >= 1.
+func RowBands(g Grid, n int) (Partition, error) {
+	if g.Tiles() == 0 {
+		return Partition{}, fmt.Errorf("mesh: cannot partition an empty grid")
+	}
+	if n < 1 {
+		return Partition{}, fmt.Errorf("mesh: partition count must be >= 1, got %d", n)
+	}
+	if n > g.Height {
+		n = g.Height
+	}
+	p := Partition{grid: g, firstRow: make([]int, n+1), regionOfRow: make([]int, g.Height)}
+	base, rem := g.Height/n, g.Height%n
+	row := 0
+	for r := 0; r < n; r++ {
+		p.firstRow[r] = row
+		rows := base
+		if r < rem {
+			rows++
+		}
+		for i := 0; i < rows; i++ {
+			p.regionOfRow[row] = r
+			row++
+		}
+	}
+	p.firstRow[n] = g.Height
+	return p, nil
+}
+
+// Grid returns the partitioned grid.
+func (p Partition) Grid() Grid { return p.grid }
+
+// Regions returns the number of regions.
+func (p Partition) Regions() int { return len(p.firstRow) - 1 }
+
+// RegionOf returns the region owning tile c.
+func (p Partition) RegionOf(c Coord) int {
+	if !p.grid.Contains(c) {
+		panic(fmt.Sprintf("mesh: coordinate %v outside %dx%d grid", c, p.grid.Width, p.grid.Height))
+	}
+	return p.regionOfRow[c.Y]
+}
+
+// RowRange returns the half-open row interval [y0, y1) of region r.
+func (p Partition) RowRange(r int) (y0, y1 int) {
+	if r < 0 || r >= p.Regions() {
+		panic(fmt.Sprintf("mesh: region %d outside partition of %d", r, p.Regions()))
+	}
+	return p.firstRow[r], p.firstRow[r+1]
+}
+
+// CutLinks enumerates the links crossed by the region cuts — the
+// boundary links whose endpoints lie in different regions — in the
+// grid's canonical Links order.  For a row-band partition these are
+// exactly the South links out of each band's last row, Width per cut.
+func (p Partition) CutLinks() []Link {
+	var cuts []Link
+	for _, l := range p.grid.Links() {
+		if p.IsCut(l) {
+			cuts = append(cuts, l)
+		}
+	}
+	return cuts
+}
+
+// IsCut reports whether the link's endpoints lie in different regions.
+func (p Partition) IsCut(l Link) bool {
+	return p.RegionOf(l.From) != p.RegionOf(l.From.Step(l.Dir))
+}

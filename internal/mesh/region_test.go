@@ -1,0 +1,128 @@
+package mesh
+
+import "testing"
+
+func TestRowBandsCoverage(t *testing.T) {
+	for _, tc := range []struct{ w, h, n, wantRegions int }{
+		{5, 5, 1, 1},
+		{5, 5, 2, 2},
+		{5, 5, 5, 5},
+		{5, 5, 8, 5}, // clamps to one region per row
+		{16, 16, 4, 4},
+		{3, 7, 3, 3},
+		{1, 1, 4, 1},
+	} {
+		g, err := NewGrid(tc.w, tc.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := RowBands(g, tc.n)
+		if err != nil {
+			t.Fatalf("%dx%d n=%d: %v", tc.w, tc.h, tc.n, err)
+		}
+		if p.Regions() != tc.wantRegions {
+			t.Errorf("%dx%d n=%d: %d regions, want %d", tc.w, tc.h, tc.n, p.Regions(), tc.wantRegions)
+		}
+		// Every tile belongs to exactly one region; regions are
+		// contiguous and non-decreasing down the rows; band sizes differ
+		// by at most one row.
+		sizes := make([]int, p.Regions())
+		prev := 0
+		for y := 0; y < tc.h; y++ {
+			r := p.RegionOf(Coord{X: 0, Y: y})
+			if r < prev || r > prev+1 {
+				t.Fatalf("%dx%d n=%d: region jumped %d -> %d at row %d", tc.w, tc.h, tc.n, prev, r, y)
+			}
+			for x := 0; x < tc.w; x++ {
+				if p.RegionOf(Coord{X: x, Y: y}) != r {
+					t.Fatalf("%dx%d n=%d: row %d split across regions", tc.w, tc.h, tc.n, y)
+				}
+			}
+			sizes[r]++
+			prev = r
+		}
+		minSz, maxSz := tc.h, 0
+		for r, sz := range sizes {
+			if sz == 0 {
+				t.Errorf("%dx%d n=%d: region %d empty", tc.w, tc.h, tc.n, r)
+			}
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			y0, y1 := p.RowRange(r)
+			if y1-y0 != sz {
+				t.Errorf("%dx%d n=%d: RowRange(%d) spans %d rows, counted %d", tc.w, tc.h, tc.n, r, y1-y0, sz)
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("%dx%d n=%d: band sizes %v not near-equal", tc.w, tc.h, tc.n, sizes)
+		}
+	}
+}
+
+func TestRowBandsCutLinks(t *testing.T) {
+	g, err := NewGrid(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RowBands(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := p.CutLinks()
+	// 4 bands of 2 rows: 3 cuts, each crossed by Width South links.
+	if want := (p.Regions() - 1) * g.Width; len(cuts) != want {
+		t.Fatalf("%d cut links, want %d", len(cuts), want)
+	}
+	for _, l := range cuts {
+		if l.Dir != South {
+			t.Errorf("cut link %v/%v is not a South link", l.From, l.Dir)
+		}
+		if !p.IsCut(l) {
+			t.Errorf("CutLinks returned non-cut link %v/%v", l.From, l.Dir)
+		}
+		a, b := p.RegionOf(l.From), p.RegionOf(l.From.Step(l.Dir))
+		if b != a+1 {
+			t.Errorf("cut link %v spans regions %d -> %d, want adjacent", l.From, a, b)
+		}
+	}
+	// A single-region partition has no cuts.
+	whole, err := RowBands(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cuts := whole.CutLinks(); len(cuts) != 0 {
+		t.Errorf("1-region partition has %d cut links", len(cuts))
+	}
+}
+
+func TestRowBandsValidation(t *testing.T) {
+	g, err := NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RowBands(g, 0); err == nil {
+		t.Error("RowBands accepted n=0")
+	}
+	if _, err := RowBands(Grid{}, 2); err == nil {
+		t.Error("RowBands accepted the empty grid")
+	}
+	p, err := RowBands(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("RegionOf off-grid", func() { p.RegionOf(Coord{X: -1, Y: 0}) })
+	mustPanic("RowRange out of range", func() { p.RowRange(2) })
+}

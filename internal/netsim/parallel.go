@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// Domain-decomposed execution.
+//
+// Config.Parallel >= 2 runs the simulation on the conservative
+// partitioned engine (sim.Partitioned): the mesh is cut into contiguous
+// row bands (mesh.RowBands) and the engine synchronizes its regions in
+// lookahead windows, where the lookahead is the minimum latency a batch
+// needs to cross a cut link — one generator service plus one teleporter
+// service, the cheapest cut-crossing interaction the model can emit.
+//
+// The interconnect model itself is tightly coupled at zero delay:
+// storage-credit acquisition blocks inline across tiles, the op
+// scheduler issues globally on every completion, and the
+// failure-injection RNG is one sequential stream whose draw order is
+// the global event order.  Splitting those couplings across regions
+// would either deadlock (credits) or change draw order (RNG) — i.e.
+// change results.  The parallel mode therefore keeps the model's event
+// graph in a single coupled region and uses the remaining regions as
+// synchronization peers: every window barrier, horizon computation and
+// deterministic merge path of the partitioned engine runs for real
+// (and is exercised under -race by CI), while the event order — and so
+// the Result — stays byte-identical to the serial engine for every
+// config, policy, layout and fault spec.  Decoupled workloads, where
+// the speedup is realized, are measured by the engine-level replay
+// benchmarks (internal/perfbench.ParallelQFT).
+//
+// Because parallel execution is an engine choice and not a model
+// change, Config.Parallel is excluded from result cache keys.
+
+// partitionPlan is the resolved decomposition of one parallel run.
+type partitionPlan struct {
+	part      mesh.Partition
+	lookahead time.Duration
+	engine    *sim.Partitioned
+}
+
+// cutLookahead returns the conservative bound for the config: the
+// minimum time a batch needs to traverse one inter-region link, a
+// generator service plus one teleporter-set service.  Both terms are
+// config constants (they do not depend on run state), so the bound is
+// computable before the simulation starts.
+func (s *simulator) cutLookahead() time.Duration {
+	return s.genLatency() + s.teleportLatency()
+}
+
+// planPartition resolves Config.Parallel into a partition plan, or nil
+// for a serial run.  The region count is clamped by RowBands to one
+// band per row.
+func (s *simulator) planPartition() (*partitionPlan, error) {
+	if s.cfg.Parallel < 2 {
+		return nil, nil
+	}
+	part, err := mesh.RowBands(s.cfg.Grid, s.cfg.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	if part.Regions() < 2 {
+		// A one-row grid admits only one band; fall back to serial.
+		return nil, nil
+	}
+	eng, err := sim.NewPartitioned(part.Regions(), s.cutLookahead())
+	if err != nil {
+		return nil, err
+	}
+	return &partitionPlan{part: part, lookahead: s.cutLookahead(), engine: eng}, nil
+}
+
+// run executes the plan to completion: the coupled model lives in
+// region 0 and the windowed barrier loop drives it.
+func (p *partitionPlan) run(ctx context.Context) error {
+	_, err := p.engine.Run(ctx)
+	return err
+}

@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/route"
+	"repro/internal/workload"
+)
+
+// TestParallelMatchesSerial pins the engine contract of parallel mode:
+// for every partition count, routing policy and fault spec, the Result
+// is byte-identical to the serial run of the same Config.
+func TestParallelMatchesSerial(t *testing.T) {
+	g := grid(t, 5, 5)
+	prog := workload.QFT(g.Tiles())
+	faulty := fault.Spec{DeadLinks: 0.05, Drop: 0.02}
+	for _, tc := range []struct {
+		name  string
+		route route.Policy
+		spec  fault.Spec
+		rate  float64
+	}{
+		{name: "xy-healthy"},
+		{name: "zigzag-healthy", route: route.ZigZag()},
+		{name: "least-congested-healthy", route: route.LeastCongested()},
+		{name: "fault-adaptive-faulty", route: route.FaultAdaptive(), spec: faulty},
+		{name: "fault-adaptive-stochastic", route: route.FaultAdaptive(), spec: faulty, rate: 0.1},
+	} {
+		cfg := DefaultConfig(g, HomeBase, 16, 16, 8)
+		cfg.Route = tc.route
+		cfg.Faults = tc.spec
+		cfg.PurifyFailureRate = tc.rate
+		cfg.Seed = 7
+		serial, err := Run(cfg, prog)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		want, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, regions := range []int{2, 3, 4, 99} {
+			cfg.Parallel = regions
+			got, err := Run(cfg, prog)
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", tc.name, regions, err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(want) {
+				t.Errorf("%s parallel=%d diverged from serial:\n got %s\nwant %s",
+					tc.name, regions, gotJSON, want)
+			}
+		}
+	}
+}
+
+// TestParallelCancel cancels a parallel run up front and requires the
+// structured context error, with the partitioned engine's workers shut
+// down (the -race CI job would catch a leak as a lingering goroutine
+// write).
+func TestParallelCancel(t *testing.T) {
+	g := grid(t, 5, 5)
+	cfg := DefaultConfig(g, HomeBase, 16, 16, 8)
+	cfg.Parallel = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := RunDetailedContext(ctx, cfg, workload.QFT(g.Tiles())); err == nil {
+		t.Fatal("cancelled parallel run returned no error")
+	}
+}
+
+// TestParallelValidation pins the config check.
+func TestParallelValidation(t *testing.T) {
+	g := grid(t, 4, 4)
+	cfg := DefaultConfig(g, HomeBase, 16, 16, 8)
+	cfg.Parallel = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Parallel accepted")
+	}
+	for _, ok := range []int{0, 1, 2, 100} {
+		cfg.Parallel = ok
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Parallel=%d rejected: %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package perfbench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The parallel-engine benchmark replays a QFT-shaped communication
+// trace directly on sim.Partitioned: every sampled QFT op becomes a
+// channel whose batch hops tile to tile along its XY path, one event
+// per hop, with the hop latency equal to the engine's lookahead — the
+// tightest window the conservative protocol admits.  Unlike the full
+// simulator (whose credit, scheduler and RNG couplings serialize it
+// onto one region; see internal/netsim/parallel.go), the replay has no
+// zero-delay cross-tile interactions, so it decomposes across row
+// bands and measures the real concurrency of the windowed barrier
+// engine.  The speedup of partitions=N over partitions=1 here is the
+// engine's, not the model's.
+
+// ParallelQFTEdges are the mesh edge lengths the parallel replay
+// benchmark runs at.
+var ParallelQFTEdges = []int{16, 32}
+
+// ParallelQFTPartitions are the region counts of the parallel replay
+// benchmark; 1 is the serial baseline the speedups are computed
+// against.
+var ParallelQFTPartitions = []int{1, 2, 4, 8}
+
+// replayChannels caps how many QFT ops are replayed as channels (the
+// full 16x16 QFT has 32640 ops; replaying a stride-sampled subset keeps
+// one iteration in the milliseconds while preserving the workload's
+// distance mix).
+const replayChannels = 2048
+
+// replayHopLat is the replay's hop latency and the engine's lookahead:
+// hops are exactly one window apart, the conservative protocol's
+// hardest cadence.
+const replayHopLat = 5 * time.Microsecond
+
+// replayStagger spreads channel launches over this many hop slots so
+// the event population ramps instead of spiking in the first window.
+const replayStagger = 16
+
+// replayWorkRounds sizes the per-event computation (an xorshift mix),
+// standing in for the per-event model work of the full simulator.
+const replayWorkRounds = 256
+
+// replayWork is the deterministic per-hop computation; its value is
+// folded into the per-tile checksum so the equivalence assertion covers
+// execution, not just event counts.
+func replayWork(seed uint64) uint64 {
+	x := seed | 1
+	for i := 0; i < replayWorkRounds; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// replay is one configured trace: the partition, the per-channel hop
+// paths, and the per-tile observables of a run.  Tiles are owned by
+// exactly one region (row bands), and every hop event executes in the
+// owner of its tile, so the regions write disjoint index ranges of
+// counts/sums — race-free by construction.
+type replay struct {
+	grid   mesh.Grid
+	part   mesh.Partition
+	engine *sim.Partitioned
+	paths  [][]mesh.Coord
+	counts []uint64
+	sums   []uint64
+}
+
+// xyPath is the dimension-order walk from src to dst, inclusive.
+func xyPath(src, dst mesh.Coord) []mesh.Coord {
+	path := []mesh.Coord{src}
+	c := src
+	for c.X != dst.X {
+		if dst.X > c.X {
+			c.X++
+		} else {
+			c.X--
+		}
+		path = append(path, c)
+	}
+	for c.Y != dst.Y {
+		if dst.Y > c.Y {
+			c.Y++
+		} else {
+			c.Y--
+		}
+		path = append(path, c)
+	}
+	return path
+}
+
+// qftPaths stride-samples the QFT op list into at most replayChannels
+// hop paths across the grid (qubit i lives on tile i).
+func qftPaths(g mesh.Grid) [][]mesh.Coord {
+	ops := workload.QFT(g.Tiles()).Ops
+	stride := len(ops) / replayChannels
+	if stride < 1 {
+		stride = 1
+	}
+	var paths [][]mesh.Coord
+	for i := 0; i < len(ops) && len(paths) < replayChannels; i += stride {
+		paths = append(paths, xyPath(g.CoordOf(ops[i].A), g.CoordOf(ops[i].B)))
+	}
+	return paths
+}
+
+// newReplay builds the partitioned engine for one run and schedules
+// every channel's launch into the region owning its first hop.
+func newReplay(b *testing.B, g mesh.Grid, paths [][]mesh.Coord, partitions int) *replay {
+	b.Helper()
+	part, err := mesh.RowBands(g, partitions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sim.NewPartitioned(part.Regions(), replayHopLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &replay{
+		grid:   g,
+		part:   part,
+		engine: eng,
+		paths:  paths,
+		counts: make([]uint64, g.Tiles()),
+		sums:   make([]uint64, g.Tiles()),
+	}
+	for k, path := range paths {
+		k, path := k, path
+		start := time.Duration(k%replayStagger+1) * replayHopLat
+		r.engine.Region(part.RegionOf(path[0])).At(start, func() { r.hop(path, 0) })
+	}
+	return r
+}
+
+// hop executes one batch arrival: per-tile bookkeeping plus the model
+// work, then forwards the batch one hop (cross-band hops go through
+// Send and the barrier merge).
+func (r *replay) hop(path []mesh.Coord, i int) {
+	c := path[i]
+	idx := r.grid.Index(c)
+	r.counts[idx]++
+	r.sums[idx] ^= replayWork(uint64(idx)<<20 | uint64(i))
+	if i+1 == len(path) {
+		return
+	}
+	cur := r.part.RegionOf(c)
+	tgt := r.part.RegionOf(path[i+1])
+	t := r.engine.Region(cur).Now() + replayHopLat
+	next := func() { r.hop(path, i+1) }
+	if tgt == cur {
+		r.engine.Region(cur).At(t, next)
+	} else {
+		r.engine.Region(cur).Send(tgt, t, next)
+	}
+}
+
+// ParallelQFT returns a benchmark replaying the QFT trace of an
+// edge x edge mesh on the partitioned engine with the given region
+// count.  One iteration is one complete replay; the first iteration is
+// pinned tile for tile (event counts and work checksums) against a
+// serial replay of the same trace, so the reported throughput is only
+// ever measured over runs proven equivalent.  The events/sec metric at
+// partitions=N over partitions=1 is the engine's parallel speedup.
+func ParallelQFT(edge, partitions int) func(*testing.B) {
+	return func(b *testing.B) {
+		g, err := mesh.NewGrid(edge, edge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths := qftPaths(g)
+		ctx := context.Background()
+
+		// Serial reference, off the clock.
+		ref := newReplay(b, g, paths, 1)
+		if _, err := ref.engine.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+		events := ref.engine.Processed()
+		if events == 0 {
+			b.Fatal("replay executed no events")
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := newReplay(b, g, paths, partitions)
+			if _, err := r.engine.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.StopTimer()
+				if r.engine.Processed() != events {
+					b.Fatalf("partitions=%d processed %d events, serial %d",
+						partitions, r.engine.Processed(), events)
+				}
+				for idx := range ref.counts {
+					if r.counts[idx] != ref.counts[idx] || r.sums[idx] != ref.sums[idx] {
+						b.Fatalf("partitions=%d diverged from serial at tile %d", partitions, idx)
+					}
+				}
+				b.StartTimer()
+			}
+		}
+		b.StopTimer()
+		reportEventRate(b, events)
+	}
+}

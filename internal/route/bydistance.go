@@ -1,0 +1,105 @@
+package route
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// byDistance routes each communication with one of two inner policies
+// chosen by the channel's distance class.
+type byDistance struct {
+	short, long Policy
+	threshold   int
+}
+
+// ByDistance returns a per-channel composite policy: communications
+// whose Manhattan distance is below threshold route with the short
+// policy, all others with the long policy.  It lets a machine pair a
+// low-turn policy for neighbor traffic with a load-spreading one for
+// long hauls — the per-channel routing dimension of the resource
+// studies.
+//
+// The canonical name encodes the composition, e.g.
+// "bydist(xy,zigzag,5)", so cache keys distinguish every (short, long,
+// threshold) combination and Parse round-trips it.  The composite is
+// deterministic (route-cacheable) exactly when both inner policies
+// are; threshold must be >= 1 and the inner policies must themselves
+// be deadlock-free under the router's turn model, which every shipped
+// policy is.
+func ByDistance(short, long Policy, threshold int) (Policy, error) {
+	if short == nil || long == nil {
+		return nil, fmt.Errorf("route: ByDistance needs two policies")
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("route: ByDistance threshold must be >= 1, got %d", threshold)
+	}
+	return byDistance{short: short, long: long, threshold: threshold}, nil
+}
+
+// Name returns the canonical composite name,
+// "bydist(<short>,<long>,<threshold>)".
+func (p byDistance) Name() string {
+	return fmt.Sprintf("bydist(%s,%s,%d)", p.short.Name(), p.long.Name(), p.threshold)
+}
+
+// Deterministic reports load-independence: true exactly when both
+// inner policies are deterministic, so the route cache stays sound.
+func (p byDistance) Deterministic() bool {
+	return IsDeterministic(p.short) && IsDeterministic(p.long)
+}
+
+// Route delegates to the distance class's policy.
+func (p byDistance) Route(g mesh.Grid, src, dst mesh.Coord, loads Loads) ([]mesh.Direction, error) {
+	if mesh.Manhattan(src, dst) < p.threshold {
+		return p.short.Route(g, src, dst, loads)
+	}
+	return p.long.Route(g, src, dst, loads)
+}
+
+// parseByDistance resolves a "bydist(short,long,threshold)" name; the
+// inner policy names are themselves resolved with Parse, so composites
+// may nest.
+func parseByDistance(n string) (Policy, error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(n, "bydist("), ")")
+	parts := splitTopLevel(inner)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("route: bad bydist spec %q (want bydist(short,long,threshold))", n)
+	}
+	short, err := Parse(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	long, err := Parse(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	threshold, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return nil, fmt.Errorf("route: bad bydist threshold %q: %v", parts[2], err)
+	}
+	return ByDistance(short, long, threshold)
+}
+
+// splitTopLevel splits a comma-separated list while respecting
+// parentheses, so "bydist(xy,yx,5),zigzag" yields two elements.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,136 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestByDistanceRoutesByClass(t *testing.T) {
+	g, err := mesh.NewGrid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ByDistance(XYOrder(), YXOrder(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mesh.Coord{X: 1, Y: 1}
+	// Distance 4 < 5: short class, must match XY exactly.
+	near := mesh.Coord{X: 3, Y: 3}
+	got, err := p.Route(g, src, near, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := XYOrder().Route(g, src, near, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("near route %v, want XY route %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("near route %v, want XY route %v", got, want)
+		}
+	}
+	// Distance 10 >= 5: long class, must match YX exactly.
+	far := mesh.Coord{X: 6, Y: 6}
+	got, err = p.Route(g, src, far, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = YXOrder().Route(g, src, far, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("far route %v, want YX route %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("far route %v, want YX route %v", got, want)
+		}
+	}
+}
+
+func TestByDistanceName(t *testing.T) {
+	p, err := ByDistance(XYOrder(), ZigZag(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Name(), "bydist(xy,zigzag,5)"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+}
+
+func TestByDistanceDeterministic(t *testing.T) {
+	det, err := ByDistance(XYOrder(), YXOrder(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsDeterministic(det) {
+		t.Error("bydist(xy,yx,5) should be deterministic")
+	}
+	mixed, err := ByDistance(XYOrder(), LeastCongested(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsDeterministic(mixed) {
+		t.Error("bydist(xy,least-congested,5) should not be deterministic")
+	}
+}
+
+func TestByDistanceParse(t *testing.T) {
+	p, err := Parse("bydist(xy,yx,5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Name(), "bydist(xy,yx,5)"; got != want {
+		t.Errorf("parsed name %q, want %q", got, want)
+	}
+	// Nested composites round-trip too.
+	nested, err := Parse("bydist(bydist(xy,yx,3),zigzag,9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nested.Name(), "bydist(bydist(xy,yx,3),zigzag,9)"; got != want {
+		t.Errorf("nested name %q, want %q", got, want)
+	}
+	for _, bad := range []string{
+		"bydist()",
+		"bydist(xy,yx)",
+		"bydist(xy,yx,zero)",
+		"bydist(xy,yx,0)",
+		"bydist(nope,yx,5)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestByDistanceParseList(t *testing.T) {
+	ps, err := ParseList("bydist(xy,yx,5),zigzag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("ParseList split into %d policies, want 2", len(ps))
+	}
+	if ps[0].Name() != "bydist(xy,yx,5)" || ps[1].Name() != "zigzag" {
+		t.Errorf("ParseList = [%s, %s]", ps[0].Name(), ps[1].Name())
+	}
+}
+
+func TestByDistanceValidation(t *testing.T) {
+	if _, err := ByDistance(nil, YXOrder(), 5); err == nil {
+		t.Error("nil short accepted")
+	}
+	if _, err := ByDistance(XYOrder(), nil, 5); err == nil {
+		t.Error("nil long accepted")
+	}
+	if _, err := ByDistance(XYOrder(), YXOrder(), 0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}

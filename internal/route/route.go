@@ -385,11 +385,15 @@ func Names() []string {
 // Parse resolves a policy by its canonical name (case-insensitive).
 // The empty string resolves to the default policy.  Beyond the
 // Policies() comparison set, Parse also recognizes "fault-adaptive",
-// the escape-channel policy for meshes with dead links.
+// the escape-channel policy for meshes with dead links, and the
+// per-channel composite "bydist(short,long,threshold)".
 func Parse(name string) (Policy, error) {
 	n := strings.ToLower(strings.TrimSpace(name))
 	if n == "" {
 		return Default(), nil
+	}
+	if strings.HasPrefix(n, "bydist(") && strings.HasSuffix(n, ")") {
+		return parseByDistance(n)
 	}
 	for _, p := range Policies() {
 		if p.Name() == n {
@@ -399,18 +403,19 @@ func Parse(name string) (Policy, error) {
 	if fa := FaultAdaptive(); fa.Name() == n {
 		return fa, nil
 	}
-	known := append(Names(), FaultAdaptive().Name())
+	known := append(Names(), FaultAdaptive().Name(), "bydist(short,long,threshold)")
 	return nil, fmt.Errorf("route: unknown policy %q (want %s)", name, strings.Join(known, ", "))
 }
 
 // ParseList resolves a comma-separated list of policy names, e.g.
-// "xy,yx,zigzag,least-congested".  The empty string resolves to all
-// shipped policies.
+// "xy,yx,zigzag,least-congested".  The split respects parentheses, so
+// composite names like "bydist(xy,yx,5)" survive as one element.  The
+// empty string resolves to all shipped policies.
 func ParseList(csv string) ([]Policy, error) {
 	if strings.TrimSpace(csv) == "" {
 		return Policies(), nil
 	}
-	parts := strings.Split(csv, ",")
+	parts := splitTopLevel(csv)
 	out := make([]Policy, 0, len(parts))
 	for _, part := range parts {
 		p, err := Parse(part)

@@ -1,0 +1,347 @@
+// Conservative domain-decomposed parallel execution.
+//
+// A Partitioned engine runs N region Engines side by side, one worker
+// goroutine per region, synchronized by a lookahead barrier: in each
+// round the coordinator computes the global horizon — the earliest
+// pending event anywhere plus the model's lookahead — and every region
+// executes all of its events strictly before that horizon concurrently.
+// Events a region schedules for another region ("boundary events")
+// are not pushed into the target heap directly; they are collected in
+// per-sender outboxes and delivered at the barrier, merged in the fixed
+// (at, seq, region) order, so the execution is deterministic for any
+// region count and any goroutine scheduling.
+//
+// The conservative correctness contract is the classic one: a region
+// may only send an event whose timestamp is at least the sender's
+// current clock plus the lookahead.  The lookahead is a model property
+// (for the mesh interconnect: the minimum latency a batch needs to
+// cross an inter-region link); Send enforces the bound and the run
+// aborts with ErrLookahead if the model violates it, rather than
+// silently producing a schedule-dependent result.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrLookahead reports a model that sent a cross-region event closer in
+// the future than the declared lookahead.  Such an event could land
+// inside a window another region has already executed, so the run
+// aborts instead of risking a nondeterministic (schedule-dependent)
+// result.
+var ErrLookahead = errors.New("sim: cross-region event violates the lookahead bound")
+
+// boundaryEvent is one cross-region message: an event to deliver into
+// the target region's heap at the barrier.  seq is the sender-local
+// message sequence; together with the sender's region index it gives
+// the fixed (at, seq, region) merge order.
+type boundaryEvent struct {
+	at     time.Duration
+	seq    uint64
+	sender int
+	target int
+	fn     func()
+}
+
+// Region is one domain of a Partitioned engine: a serial Engine core
+// plus the outbox for boundary events.  Model code running inside a
+// region's window uses its Engine exactly like a serial simulation
+// (Schedule, At, resources, semaphores) and Send for events that cross
+// into another region.  A Region's methods are not safe for concurrent
+// use from outside its own window execution.
+type Region struct {
+	// Engine is the region's serial event core (heap + arena).
+	*Engine
+	index   int
+	parent  *Partitioned
+	sendSeq uint64
+	outbox  []boundaryEvent
+	// violation records the window's first lookahead violation; it is
+	// region-local (concurrent windows never write shared memory) and
+	// surfaced as a structured error at the barrier.
+	violation error
+}
+
+// Index returns the region's position in the partition, in [0, Regions).
+func (r *Region) Index() int { return r.index }
+
+// Send schedules fn in the target region at absolute time t.  The event
+// is held in the sender's outbox and delivered at the next barrier,
+// merged with all other boundary events in (at, seq, region) order.
+// t must be at least the sender's current clock plus the partition's
+// lookahead; a violating send poisons the run, which then aborts with
+// ErrLookahead at the barrier.  Sending to the own region is allowed
+// and equivalent to At (but pays the barrier round-trip; prefer At).
+func (r *Region) Send(target int, t time.Duration, fn func()) {
+	p := r.parent
+	if target < 0 || target >= len(p.regions) {
+		panic(fmt.Sprintf("sim: Send to region %d of %d", target, len(p.regions)))
+	}
+	if fn == nil {
+		panic("sim: Send of nil event function")
+	}
+	if t < r.Now()+p.lookahead {
+		// Record the earliest violation; the coordinator turns it into
+		// a structured error at the barrier.  Execution continues so the
+		// window stays deterministic (aborting mid-window would make the
+		// partial state depend on goroutine timing).
+		if r.violation == nil {
+			r.violation = fmt.Errorf("%w: region %d sent t=%v to region %d with clock %v and lookahead %v",
+				ErrLookahead, r.index, t, target, r.Now(), p.lookahead)
+		}
+		return
+	}
+	r.sendSeq++
+	r.outbox = append(r.outbox, boundaryEvent{at: t, seq: r.sendSeq, sender: r.index, target: target, fn: fn})
+}
+
+// Partitioned is a conservative parallel discrete-event engine: N
+// region Engines advancing in lookahead-synchronized windows.  Build
+// one with NewPartitioned, populate the regions' initial events, then
+// call Run.
+type Partitioned struct {
+	regions   []*Region
+	lookahead time.Duration
+
+	// Worker pool state: workers persist across windows and block on
+	// start; Run closes shutdown when it returns, so no goroutines
+	// outlive the call.
+	start       []chan windowJob
+	done        chan windowDone
+	workersOnce sync.Once
+}
+
+// windowJob is one window assignment for a region worker.
+type windowJob struct {
+	ctx     context.Context
+	horizon time.Duration
+}
+
+// windowDone is a worker's barrier report.
+type windowDone struct {
+	region int
+	err    error
+}
+
+// NewPartitioned builds a partitioned engine with the given region
+// count and lookahead.  lookahead must be positive: it is the model's
+// guarantee about the minimum latency of cross-region interactions and
+// a zero bound would force zero-width windows (serial execution).
+func NewPartitioned(regions int, lookahead time.Duration) (*Partitioned, error) {
+	if regions < 1 {
+		return nil, fmt.Errorf("sim: partitioned engine needs >= 1 region, got %d", regions)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: partitioned engine needs a positive lookahead, got %v", lookahead)
+	}
+	p := &Partitioned{lookahead: lookahead}
+	p.regions = make([]*Region, regions)
+	for i := range p.regions {
+		p.regions[i] = &Region{Engine: New(), index: i, parent: p}
+	}
+	return p, nil
+}
+
+// Regions returns the region count.
+func (p *Partitioned) Regions() int { return len(p.regions) }
+
+// Region returns the i'th region.
+func (p *Partitioned) Region(i int) *Region { return p.regions[i] }
+
+// Lookahead returns the conservative synchronization bound.
+func (p *Partitioned) Lookahead() time.Duration { return p.lookahead }
+
+// Pending returns the number of live events across all regions,
+// including undelivered boundary events.
+func (p *Partitioned) Pending() int {
+	n := 0
+	for _, r := range p.regions {
+		n += r.Engine.Pending() + len(r.outbox)
+	}
+	return n
+}
+
+// Processed returns the number of events executed across all regions.
+func (p *Partitioned) Processed() uint64 {
+	var n uint64
+	for _, r := range p.regions {
+		n += r.Engine.Processed()
+	}
+	return n
+}
+
+// Now returns the global horizon reached so far: the maximum region
+// clock (regions only advance by executing events, so this is the time
+// of the latest executed event).
+func (p *Partitioned) Now() time.Duration {
+	var t time.Duration
+	for _, r := range p.regions {
+		if n := r.Engine.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// nextEventAt returns the earliest pending event time across regions.
+func (p *Partitioned) nextEventAt() (time.Duration, bool) {
+	var best time.Duration
+	ok := false
+	for _, r := range p.regions {
+		if at, live := r.Engine.NextEventAt(); live && (!ok || at < best) {
+			best, ok = at, true
+		}
+	}
+	return best, ok
+}
+
+// deliver flushes every region's outbox into the target heaps, in the
+// fixed (at, seq, sender-region) order.  The total order makes the
+// insertion sequence — hence each target engine's tie-breaking seq
+// assignment — independent of which goroutine produced which message
+// first, which is what keeps a partitioned run deterministic.
+func (p *Partitioned) deliver() error {
+	var all []boundaryEvent
+	for _, r := range p.regions {
+		if r.violation != nil {
+			return r.violation
+		}
+		all = append(all, r.outbox...)
+		r.outbox = r.outbox[:0]
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.sender < b.sender
+	})
+	for _, ev := range all {
+		tgt := p.regions[ev.target].Engine
+		t := ev.at
+		if t < tgt.Now() {
+			// Cannot happen under the Send-side lookahead check (the
+			// target never executes past the window horizon, and every
+			// send is at or beyond it); guard anyway so a future engine
+			// change fails loudly instead of corrupting causality.
+			return fmt.Errorf("%w: delivery at %v behind region %d clock %v",
+				ErrLookahead, ev.at, ev.target, tgt.Now())
+		}
+		tgt.At(t, ev.fn)
+	}
+	return nil
+}
+
+// startWorkers lazily spins up one persistent goroutine per region.
+func (p *Partitioned) startWorkers() {
+	p.workersOnce.Do(func() {
+		p.start = make([]chan windowJob, len(p.regions))
+		p.done = make(chan windowDone, len(p.regions))
+		for i := range p.regions {
+			ch := make(chan windowJob)
+			p.start[i] = ch
+			go func(i int, ch chan windowJob) {
+				for job := range ch {
+					err := p.regions[i].runWindow(job.ctx, job.horizon)
+					p.done <- windowDone{region: i, err: err}
+				}
+			}(i, ch)
+		}
+	})
+}
+
+// stopWorkers shuts the worker pool down; Run defers it, so a
+// Partitioned engine leaves no goroutines behind when Run returns (for
+// any reason, including cancellation and lookahead violations).
+func (p *Partitioned) stopWorkers() {
+	if p.start == nil {
+		return
+	}
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.start = nil
+	p.workersOnce = sync.Once{}
+}
+
+// runWindow executes all of the region's events strictly before the
+// horizon, polling ctx between batches of events like the serial
+// engine's RunContext.
+func (r *Region) runWindow(ctx context.Context, horizon time.Duration) error {
+	e := r.Engine
+	var n uint64
+	for {
+		at, ok := e.NextEventAt()
+		if !ok || at >= horizon {
+			return nil
+		}
+		e.Step()
+		n++
+		if n%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Run executes the partitioned simulation to completion: rounds of
+// horizon computation, concurrent window execution and deterministic
+// boundary delivery, until no region holds a pending event.  It returns
+// the total number of events executed.  Cancelling ctx aborts between
+// and within windows (workers poll it), leaving the regions' state
+// intact for inspection; Run never leaks its worker goroutines, even
+// when cancelled mid-barrier.
+func (p *Partitioned) Run(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	// A single region needs no barriers: degrade to the serial loop.
+	if len(p.regions) == 1 {
+		if err := p.deliver(); err != nil { // self-sends from setup code
+			return 0, err
+		}
+		return p.regions[0].Engine.RunContext(ctx, 0)
+	}
+	p.startWorkers()
+	defer p.stopWorkers()
+	var total uint64
+	for {
+		next, ok := p.nextEventAt()
+		if !ok {
+			return total, nil
+		}
+		horizon := next + p.lookahead
+		before := p.Processed()
+		for _, ch := range p.start {
+			ch <- windowJob{ctx: ctx, horizon: horizon}
+		}
+		var windowErr error
+		for range p.regions {
+			if d := <-p.done; d.err != nil && windowErr == nil {
+				windowErr = d.err
+			}
+		}
+		total += p.Processed() - before
+		if windowErr != nil {
+			return total, windowErr
+		}
+		if err := p.deliver(); err != nil {
+			return total, err
+		}
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// tokenRing is the synthetic multi-region model of the partition tests:
+// M nodes in a ring, tokens hopping node to node with a fixed hop
+// latency (>= the lookahead), each arrival incrementing the node's
+// counter until the end time.  Every node is owned by exactly one
+// region and only its owner executes its arrivals, so the model is
+// race-free by construction; its observables (per-node counts, total
+// events, final clock) are a pure function of the token schedule and
+// must be identical for every decomposition of the ring.
+type tokenRing struct {
+	p       *Partitioned
+	nodes   int
+	hopLat  time.Duration
+	endAt   time.Duration
+	counts  []uint64
+	ownerOf func(node int) int
+}
+
+func (tr *tokenRing) owner(node int) *Region { return tr.p.Region(tr.ownerOf(node)) }
+
+// arrive processes a token landing on node at the owning region's
+// current clock, then forwards it one hop around the ring.
+func (tr *tokenRing) arrive(node int) {
+	tr.counts[node]++
+	r := tr.owner(node)
+	t := r.Now() + tr.hopLat
+	if t > tr.endAt {
+		return
+	}
+	next := (node + 1) % tr.nodes
+	if tr.ownerOf(next) == r.Index() {
+		r.At(t, func() { tr.arrive(next) })
+	} else {
+		r.Send(tr.ownerOf(next), t, func() { tr.arrive(next) })
+	}
+}
+
+// launch injects the initial tokens: one per node, at staggered start
+// times, scheduled into each node's owning region.
+func (tr *tokenRing) launch() {
+	for n := 0; n < tr.nodes; n++ {
+		n := n
+		tr.owner(n).At(time.Duration(n+1)*time.Microsecond, func() { tr.arrive(n) })
+	}
+}
+
+// newTokenRing builds the model on a fresh partitioned engine with the
+// given region count; nodes are dealt to regions in contiguous blocks.
+func newTokenRing(t *testing.T, regions int) *tokenRing {
+	t.Helper()
+	const nodes = 12
+	lookahead := 5 * time.Microsecond
+	p, err := NewPartitioned(regions, lookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &tokenRing{
+		p:      p,
+		nodes:  nodes,
+		hopLat: lookahead, // exactly the bound: the tightest legal send
+		endAt:  3 * time.Millisecond,
+		counts: make([]uint64, nodes),
+		ownerOf: func(node int) int {
+			return node * regions / nodes
+		},
+	}
+	tr.launch()
+	return tr
+}
+
+// TestPartitionedMatchesSerial pins the partitioned engine's results to
+// the single-region (serial) execution of the same model, for several
+// region counts: per-node counts, total processed events and the final
+// clock must all be identical.
+func TestPartitionedMatchesSerial(t *testing.T) {
+	ref := newTokenRing(t, 1)
+	if _, err := ref.p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ref.p.Processed() == 0 {
+		t.Fatal("serial reference executed no events")
+	}
+	for _, regions := range []int{2, 3, 4, 6} {
+		tr := newTokenRing(t, regions)
+		if _, err := tr.p.Run(context.Background()); err != nil {
+			t.Fatalf("regions=%d: %v", regions, err)
+		}
+		if got, want := tr.p.Processed(), ref.p.Processed(); got != want {
+			t.Errorf("regions=%d: processed %d events, serial %d", regions, got, want)
+		}
+		if got, want := tr.p.Now(), ref.p.Now(); got != want {
+			t.Errorf("regions=%d: final clock %v, serial %v", regions, got, want)
+		}
+		for n := range tr.counts {
+			if tr.counts[n] != ref.counts[n] {
+				t.Errorf("regions=%d: node %d count %d, serial %d", regions, n, tr.counts[n], ref.counts[n])
+			}
+		}
+	}
+}
+
+// TestPartitionedDeterministic runs the same decomposition twice and
+// requires identical results — the merge order must not depend on
+// goroutine scheduling.
+func TestPartitionedDeterministic(t *testing.T) {
+	a := newTokenRing(t, 4)
+	if _, err := a.p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b := newTokenRing(t, 4)
+	if _, err := b.p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if a.p.Processed() != b.p.Processed() || a.p.Now() != b.p.Now() {
+		t.Fatalf("two identical runs diverged: %d/%v vs %d/%v",
+			a.p.Processed(), a.p.Now(), b.p.Processed(), b.p.Now())
+	}
+	for n := range a.counts {
+		if a.counts[n] != b.counts[n] {
+			t.Errorf("node %d count %d vs %d across identical runs", n, a.counts[n], b.counts[n])
+		}
+	}
+}
+
+// TestPartitionedLookaheadViolation requires a send below the lookahead
+// bound to abort the run with ErrLookahead instead of producing a
+// schedule-dependent result.
+func TestPartitionedLookaheadViolation(t *testing.T) {
+	p, err := NewPartitioned(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := p.Region(0)
+	r0.At(time.Microsecond, func() {
+		// Clock is 1µs; anything before 1µs+1ms violates the bound.
+		r0.Send(1, r0.Now()+time.Microsecond, func() {})
+	})
+	if _, err := p.Run(context.Background()); !errors.Is(err, ErrLookahead) {
+		t.Fatalf("Run error = %v, want ErrLookahead", err)
+	}
+}
+
+// TestPartitionedSendValidation pins the Send panics for bad targets
+// and nil functions.
+func TestPartitionedSendValidation(t *testing.T) {
+	p, err := NewPartitioned(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad target", func() { p.Region(0).Send(7, time.Second, func() {}) })
+	mustPanic("nil fn", func() { p.Region(0).Send(1, time.Second, nil) })
+}
+
+// TestNewPartitionedValidation pins the constructor errors.
+func TestNewPartitionedValidation(t *testing.T) {
+	if _, err := NewPartitioned(0, time.Millisecond); err == nil {
+		t.Error("0 regions accepted")
+	}
+	if _, err := NewPartitioned(2, 0); err == nil {
+		t.Error("zero lookahead accepted")
+	}
+}
+
+// endlessRing is a token ring without an end time, for cancellation
+// tests: it generates windows forever until the context stops the run.
+func endlessRing(t *testing.T, regions int) *tokenRing {
+	t.Helper()
+	tr := newTokenRing(t, regions)
+	tr.endAt = 1 << 62
+	return tr
+}
+
+// TestPartitionedCancel cancels a run mid-flight — including while
+// region workers are inside a window barrier cycle — and requires Run
+// to return the context error promptly without leaking its worker
+// goroutines.
+func TestPartitionedCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr := endlessRing(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.p.Run(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return: mid-barrier hang")
+	}
+	// Worker goroutines shut down with Run; give the runtime a moment
+	// to reap them before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines grew from %d to %d after cancelled run", before, now)
+	}
+}
+
+// TestPartitionedRerunAfterCancel verifies the engine state survives a
+// cancellation intact: resuming the run completes it.
+func TestPartitionedRerunAfterCancel(t *testing.T) {
+	tr := newTokenRing(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.p.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Run error = %v", err)
+	}
+	if _, err := tr.p.Run(context.Background()); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	ref := newTokenRing(t, 3)
+	if _, err := ref.p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if tr.p.Processed() != ref.p.Processed() || tr.p.Now() != ref.p.Now() {
+		t.Fatalf("resumed run diverged: %d/%v vs %d/%v",
+			tr.p.Processed(), tr.p.Now(), ref.p.Processed(), ref.p.Now())
+	}
+}

@@ -17,9 +17,10 @@ import (
 // HTTP Server and the Loopback transport both drive one through
 // Execute.
 type Worker struct {
-	store     simulate.Store
-	parallel  int
-	newRemote func(url string) simulate.Store
+	store       simulate.Store
+	parallel    int
+	runParallel int
+	newRemote   func(url string) simulate.Store
 }
 
 // WorkerOption configures a Worker.
@@ -37,6 +38,16 @@ func WithWorkerStore(st simulate.Store) WorkerOption {
 // GOMAXPROCS.
 func WithWorkerParallelism(n int) WorkerOption {
 	return func(w *Worker) { w.parallel = n }
+}
+
+// WithWorkerRunParallelism runs every simulation of every job on the
+// domain-decomposed parallel event engine with n regions
+// (simulate.WithParallelism).  Results and cache keys are unchanged —
+// parallel runs are byte-identical to serial ones — so a fleet may mix
+// workers with different settings against one shared store.  Values
+// below 2 (and the default) keep the serial engine.
+func WithWorkerRunParallelism(n int) WorkerOption {
+	return func(w *Worker) { w.runParallel = n }
 }
 
 // NewWorker builds a worker with the given options over the defaults
@@ -75,6 +86,9 @@ func (w *Worker) Execute(ctx context.Context, job Job, emit func(PointResult) er
 	space, err := job.Space.Space()
 	if err != nil {
 		return err
+	}
+	if w.runParallel >= 2 {
+		space.Options = append(space.Options, simulate.WithParallelism(w.runParallel))
 	}
 	pts, err := space.Points()
 	if err != nil {

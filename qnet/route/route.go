@@ -106,6 +106,17 @@ type FaultAware = route.FaultAware
 // structured error).
 func FaultAdaptive() Policy { return route.FaultAdaptive() }
 
+// ByDistance returns a per-channel composite policy: communications
+// whose Manhattan distance is below threshold route with the short
+// policy, all others with the long policy.  Its canonical name encodes
+// the composition ("bydist(xy,zigzag,5)"), round-trips through Parse
+// and distinguishes cache keys per (short, long, threshold); the
+// composite is deterministic (route-cacheable) exactly when both inner
+// policies are.  threshold must be >= 1.
+func ByDistance(short, long Policy, threshold int) (Policy, error) {
+	return route.ByDistance(short, long, threshold)
+}
+
 // Default returns the default policy, XYOrder.
 func Default() Policy { return route.Default() }
 

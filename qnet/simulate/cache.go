@@ -141,6 +141,11 @@ func keyFor(cfg netsim.Config, prog qnet.Program) Key {
 	}
 	hashInt(h, seed)
 
+	// Config.Parallel is deliberately NOT hashed: parallelism is an
+	// engine choice, not a model change — a parallel run is byte-
+	// identical to the serial run of the same config, so a cached serial
+	// result must answer a parallel request and vice versa.
+
 	// Program fingerprint.
 	hashString(h, prog.Name)
 	hashInt(h, int64(prog.Qubits))

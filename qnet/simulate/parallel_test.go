@@ -1,0 +1,168 @@
+package simulate
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/fault"
+	"repro/qnet/route"
+)
+
+// parallelPolicies is the full comparison set of the equivalence tests:
+// every shipped policy plus the escape-channel one.
+func parallelPolicies() []route.Policy {
+	return append(route.Policies(), route.FaultAdaptive())
+}
+
+// TestParallelByteIdentity is the acceptance gate of the parallel
+// engine: for every routing policy, with a nonzero fault spec, the
+// JSON-marshalled Result of a parallel run at partitions 2, 3 and 4 is
+// byte-identical to the serial run — and so are the errors, if any.
+func TestParallelByteIdentity(t *testing.T) {
+	grid := testGrid(t, 5)
+	prog := qnet.QFT(grid.Tiles())
+	// Drop faults keep every policy routable (dead links would block the
+	// non-fault-aware ones); the spec is nonzero so the run exercises
+	// the seeded RNG draw order, the subtlest thing parallel execution
+	// could disturb.
+	spec := fault.Spec{Drop: 0.05}
+	for _, pol := range parallelPolicies() {
+		base := []Option{
+			WithResources(16, 16, 8),
+			WithRouting(pol),
+			WithFaults(spec),
+			WithSeed(11),
+		}
+		serial, err := New(grid, HomeBase, base...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := serial.Run(context.Background(), prog)
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 3, 4} {
+			m, err := New(grid, HomeBase, append(base[:len(base):len(base)], WithParallelism(n))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotErr := m.Run(context.Background(), prog)
+			if (gotErr == nil) != (wantErr == nil) ||
+				(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+				t.Fatalf("%s parallel=%d: err %v, serial err %v", pol.Name(), n, gotErr, wantErr)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotJSON) != string(wantJSON) {
+				t.Errorf("%s parallel=%d diverged:\n got %s\nwant %s", pol.Name(), n, gotJSON, wantJSON)
+			}
+		}
+	}
+}
+
+// TestParallelismExcludedFromCacheKey pins the cache contract: the
+// parallel region count never changes the content address, because it
+// never changes the result.
+func TestParallelismExcludedFromCacheKey(t *testing.T) {
+	grid := testGrid(t, 4)
+	prog := qnet.QFT(grid.Tiles())
+	serial, err := New(grid, HomeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 2, 4, 16} {
+		m, err := New(grid, HomeBase, WithParallelism(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Parallelism() != n {
+			t.Errorf("Parallelism() = %d, want %d", m.Parallelism(), n)
+		}
+		if m.CacheKey(prog) != serial.CacheKey(prog) {
+			t.Errorf("parallelism %d changed the cache key", n)
+		}
+	}
+}
+
+// TestParallelSharedCacheAcrossEngines runs serial with a cache, then a
+// parallel machine over the same store: the parallel run must be a pure
+// cache hit (same key, same result), never a second simulation.
+func TestParallelSharedCacheAcrossEngines(t *testing.T) {
+	grid := testGrid(t, 4)
+	prog := qnet.QFT(grid.Tiles())
+	cache := NewCache(0)
+	serial, err := New(grid, HomeBase, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(grid, HomeBase, WithCache(cache), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Run(context.Background(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("parallel run over the shared cache returned a different result")
+	}
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("cache traffic %+v, want the parallel run to hit the serial entry", s)
+	}
+}
+
+// TestParallelCancelNoLeak cancels parallel runs mid-flight and
+// requires Run to return promptly (a cancel landing inside a window
+// barrier must not hang) without leaking the engine's worker
+// goroutines.
+func TestParallelCancelNoLeak(t *testing.T) {
+	grid := testGrid(t, 8)
+	prog := qnet.QFT(grid.Tiles())
+	m, err := New(grid, HomeBase,
+		WithResources(2, 2, 2),
+		WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+			cancel()
+		}()
+		done := make(chan error, 1)
+		go func() {
+			_, err := m.Run(ctx, prog)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			// A fast machine may legitimately finish before the cancel
+			// lands; all that matters is that it returns.
+			_ = err
+		case <-time.After(10 * time.Second):
+			t.Fatal("cancelled parallel run did not return: mid-barrier hang")
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines grew from %d to %d after cancelled parallel runs", before, now)
+	}
+}

@@ -73,6 +73,63 @@ func TestSweepRoutingDimension(t *testing.T) {
 	}
 }
 
+// TestSweepByDistanceDimension sweeps the per-channel composite policy
+// as a routing dimension: distinct thresholds get distinct cache keys,
+// and a threshold above every channel distance routes exactly like the
+// short policy alone (identical result and identical utilisation).
+func TestSweepByDistanceDimension(t *testing.T) {
+	grid := testGrid(t, 4)
+	near, err := route.ByDistance(route.XYOrder(), route.YXOrder(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := route.ByDistance(route.XYOrder(), route.YXOrder(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := Space{
+		Grids:     []qnet.Grid{grid},
+		Layouts:   []Layout{HomeBase},
+		Resources: []Resources{{Teleporters: 8, Generators: 8, Purifiers: 4}},
+		Programs:  []qnet.Program{qnet.QFT(grid.Tiles())},
+		Routings:  []route.Policy{route.XYOrder(), near, far},
+	}
+	points, err := Sweep(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points, want 3", len(points))
+	}
+	keys := make(map[Key]string, len(points))
+	results := make(map[string]Result, len(points))
+	for _, pt := range points {
+		if pt.Err != nil {
+			t.Fatalf("%s: %v", pt.Point.RoutingName(), pt.Err)
+		}
+		m, err := space.machine(pt.Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := m.CacheKey(pt.Point.Program)
+		if prev, dup := keys[key]; dup {
+			t.Fatalf("policies %s and %s share cache key %s", prev, pt.Point.RoutingName(), key)
+		}
+		keys[key] = pt.Point.RoutingName()
+		results[pt.Point.RoutingName()] = pt.Result
+	}
+	// Threshold 99 exceeds every Manhattan distance on a 4x4 grid, so
+	// the composite degenerates to pure XY.
+	if results["bydist(xy,yx,99)"] != results["xy"] {
+		t.Error("bydist with unreachable threshold differs from the pure short policy")
+	}
+	// Threshold 3 splits the channels between XY and YX, which changes
+	// turn counts on this workload; the result must differ from pure XY.
+	if results["bydist(xy,yx,3)"] == results["xy"] {
+		t.Error("bydist with a splitting threshold routed identically to pure XY")
+	}
+}
+
 // TestSweepRoutingDefaultMatchesExplicitXY asserts the nil default of
 // the routing dimension and an explicit XYOrder produce identical
 // results and identical cache keys.

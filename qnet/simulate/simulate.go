@@ -168,6 +168,18 @@ func WithFaults(sp fault.Spec) Option {
 	return optionFunc(func(s *machineSpec) { s.cfg.Faults = sp })
 }
 
+// WithParallelism runs the machine's simulations on the
+// domain-decomposed parallel event engine with n regions (contiguous
+// row bands of the mesh, synchronized by a conservative lookahead
+// barrier).  0 and 1 (the default) select the serial engine; larger
+// values are clamped to the grid height.  Parallelism is an engine
+// choice, not a model change: results are byte-identical to a serial
+// run of the same machine, which is why CacheKey ignores it — a cached
+// serial result answers a parallel run and vice versa.
+func WithParallelism(n int) Option {
+	return optionFunc(func(s *machineSpec) { s.cfg.Parallel = n })
+}
+
 // Machine is a configured, validated simulated quantum computer.  It is
 // immutable after New and safe for concurrent use: every Run builds
 // fresh simulator state (including a per-run RNG), so one Machine can
@@ -243,6 +255,9 @@ func validate(cfg netsim.Config) error {
 	if err := cfg.Faults.Validate(cfg.Grid); err != nil {
 		return &qnet.ConfigError{Field: "Faults", Value: cfg.Faults.String(), Reason: err.Error()}
 	}
+	if cfg.Parallel < 0 {
+		return &qnet.ConfigError{Field: "Parallelism", Value: cfg.Parallel, Reason: "must be >= 0"}
+	}
 	return nil
 }
 
@@ -262,6 +277,10 @@ func (m *Machine) RoutingName() string { return route.NameOf(m.cfg.Route) }
 
 // Seed returns the machine's base RNG seed.
 func (m *Machine) Seed() int64 { return m.cfg.Seed }
+
+// Parallelism returns the machine's requested parallel region count (0
+// or 1 means the serial engine).
+func (m *Machine) Parallelism() int { return m.cfg.Parallel }
 
 // Faults returns the machine's fault spec (the zero Spec on a healthy
 // machine).

@@ -190,9 +190,20 @@ func benchmarks() []namedBench {
 			})
 		}
 	}
+	for _, mode := range perfbench.TraceModes {
+		list = append(list, namedBench{
+			name: traceName(mode),
+			fn:   perfbench.TraceQFT(mode),
+		})
+	}
 	list = append(list, namedBench{name: "Sweep/workers=8", fn: perfbench.SweepWorkers(8)})
 	list = append(list, namedBench{name: "DistribSweep/workers=2", fn: perfbench.DistributedSweep(2)})
 	return list
+}
+
+// traceName is the report name of one TraceQFT mode.
+func traceName(mode string) string {
+	return "TraceQFT/trace=" + mode
 }
 
 // parallelName is the report name of one ParallelQFT cell.
@@ -297,6 +308,19 @@ func validate(data []byte) error {
 			if parts > 1 && e.SpeedupVsSerial <= 0 {
 				return fmt.Errorf("%s: speedup_vs_serial = %g", name, e.SpeedupVsSerial)
 			}
+		}
+	}
+	// The tracer-overhead trio must be complete with positive
+	// throughput, or the report cannot answer "what does telemetry
+	// cost" — the question those entries exist for.
+	for _, mode := range perfbench.TraceModes {
+		name := traceName(mode)
+		e, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("missing benchmark %q", name)
+		}
+		if e.EventsPerSec <= 0 {
+			return fmt.Errorf("%s: events/sec = %g", name, e.EventsPerSec)
 		}
 	}
 	return nil

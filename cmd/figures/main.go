@@ -19,9 +19,11 @@
 //	figures -fig 10 -format csv         # machine-readable output
 //
 // Figures: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm,
-// routing, all.  The routing table crosses the Figure 16 layouts with
-// every routing policy (qnet/route) and Welch-tests each policy's
-// execution ensemble against the dimension-order baseline.
+// routing, congestion, all.  The routing table crosses the Figure 16
+// layouts with every routing policy (qnet/route) and Welch-tests each
+// policy's execution ensemble against the dimension-order baseline.
+// The congestion figure traces one run through qnet/trace and renders
+// per-link utilization over simulated time as a heatmap.
 package main
 
 import (
@@ -41,7 +43,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, routing, all")
+		fig      = flag.String("fig", "all", "which figure to regenerate: table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, routing, congestion, all")
 		format   = flag.String("format", "text", "output format: text or csv")
 		grid     = flag.Int("grid", 8, "mesh edge length for figure 16 (paper: 16)")
 		area     = flag.Int("area", 48, "per-tile resource budget t+g+p for figure 16")
@@ -228,8 +230,24 @@ func run(w io.Writer, o options) error {
 		}
 		fmt.Fprintln(os.Stderr, "figures: routing sweep:", data.Sweep)
 	}
+	if has("congestion") {
+		matched = true
+		cfg := figures.DefaultCongestionConfig(o.grid)
+		cfg.FailureRate = o.failure
+		cfg.Cache = cache
+		data, err := figures.Congestion(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(data.Table(), nil); err != nil {
+			return err
+		}
+		if o.format == "text" && !o.noPlots {
+			fmt.Fprintln(w, data.Heatmap())
+		}
+	}
 	if !matched {
-		return fmt.Errorf("unknown figure %q (want table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, routing or all)", o.fig)
+		return fmt.Errorf("unknown figure %q (want table1, table2, claims, 8, 9, 10, 11, 12, 16, memm, routing, congestion or all)", o.fig)
 	}
 	if s := cache.Stats(); s.Hits+s.Misses > 0 {
 		fmt.Fprintln(os.Stderr, "figures: result cache:", s)

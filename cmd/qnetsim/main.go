@@ -11,6 +11,7 @@
 //	qnetsim -route zigzag                           # routing policy (xy, yx, zigzag, least-congested)
 //	qnetsim -cache-dir .qnet                        # warm re-runs hit the result cache
 //	qnetsim -grid 16 -parallel 4                    # domain-decomposed parallel engine (byte-identical results)
+//	qnetsim -grid 8 -trace trace.json               # time-series congestion trace (qnet/trace JSON)
 //	qnetsim -grid 16 -cpuprofile cpu.pprof          # profile the hot loop (go tool pprof cpu.pprof)
 //	qnetsim -grid 16 -memprofile mem.pprof          # heap profile after the run
 //
@@ -35,6 +36,7 @@ import (
 	"repro/qnet/fault"
 	"repro/qnet/route"
 	"repro/qnet/simulate"
+	"repro/qnet/trace"
 )
 
 func main() {
@@ -62,6 +64,8 @@ func realMain() int {
 		seed     = flag.Int64("seed", 0, "fault-pattern and failure-injection RNG seed")
 		parallel = flag.Int("parallel", 0, "run on the domain-decomposed parallel engine with this many row-band regions (0 or 1 = serial; results are byte-identical)")
 		timeout  = flag.Duration("timeout", 0, "abort the simulation after this wall-clock time (0 = none)")
+		traceOut = flag.String("trace", "", "write a time-series congestion trace (versioned JSON) to this file")
+		traceIv  = flag.Duration("trace-interval", 0, "simulated-time sampling interval for -trace (0 = the trace package default)")
 		heatmap  = flag.Bool("heatmap", false, "print per-tile utilization heatmaps")
 		cache    = flag.String("cache-dir", "", "directory for the on-disk result cache (warm runs are served from it)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file (go tool pprof)")
@@ -105,6 +109,7 @@ func realMain() int {
 		t: *t, g: *g, p: *p, depth: *depth, level: *level, hopCells: *hopCell,
 		route: *routeFl, failure: *failure, faultDead: *fDead, faultDrop: *fDrop,
 		seed: *seed, parallel: *parallel, timeout: *timeout,
+		traceOut: *traceOut, traceInterval: *traceIv,
 		heatmap: *heatmap, cacheDir: *cache,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "qnetsim:", err)
@@ -123,6 +128,8 @@ type opts struct {
 	seed                         int64
 	parallel                     int
 	timeout                      time.Duration
+	traceOut                     string
+	traceInterval                time.Duration
 	heatmap                      bool
 	cacheDir                     string
 }
@@ -191,6 +198,15 @@ func run(o opts) error {
 		return err
 	}
 
+	// -trace attaches a telemetry tracer; the traced run always
+	// simulates (never answers from the cache) so the time series
+	// reflects a real execution.
+	var tracer *trace.Tracer
+	if o.traceOut != "" {
+		tracer = trace.New(trace.Config{Interval: o.traceInterval})
+		m = m.WithTrace(tracer)
+	}
+
 	ctx := context.Background()
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
@@ -230,6 +246,23 @@ func run(o opts) error {
 		100*res.TeleporterUtil, 100*res.GeneratorUtil, 100*res.PurifierUtil)
 	fmt.Printf("classical messages  %d\n", res.ClassicalMessages)
 	fmt.Printf("simulation events   %d\n", res.Events)
+
+	if tracer != nil {
+		ex := tracer.Export()
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ex.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace               %s (%d samples every %v, %d drops, %d resends)\n",
+			o.traceOut, len(ex.Times), time.Duration(ex.IntervalNS), ex.TotalDrops, ex.TotalResends)
+	}
 
 	if o.heatmap {
 		for _, metric := range []string{"teleporter", "purifier"} {

@@ -175,11 +175,14 @@ func sweepHops(dist int) error {
 // depth ablation the benchmark in qnet/simulate measures.  A non-empty
 // fault spec becomes the space's fault dimension; dead links also
 // switch routing to the fault-adaptive policy, since the static
-// default would fail every blocked path.
-func depthSweepSpace(gridN, seeds int, failure float64, fs fault.Spec) (simulate.Space, error) {
+// default would fail every blocked path.  The second return reports
+// that switch, so the front-ends can label it instead of silently
+// changing the measured configuration; the swap is also visible in the
+// cache keys, which hash the routing policy.
+func depthSweepSpace(gridN, seeds int, failure float64, fs fault.Spec) (simulate.Space, bool, error) {
 	grid, err := qnet.NewGrid(gridN, gridN)
 	if err != nil {
-		return simulate.Space{}, err
+		return simulate.Space{}, false, err
 	}
 	space := simulate.Space{
 		Grids:     []qnet.Grid{grid},
@@ -190,22 +193,27 @@ func depthSweepSpace(gridN, seeds int, failure float64, fs fault.Spec) (simulate
 		Seeds:     simulate.SeedRange(seeds),
 		Options:   []simulate.Option{simulate.WithFailureRate(failure)},
 	}
+	auto := false
 	if !fs.Empty() {
 		space.Faults = []fault.Spec{fs}
 		if fs.DeadLinks > 0 {
 			space.Routings = []route.Policy{route.FaultAdaptive()}
+			auto = true
 		}
 	}
-	return space, nil
+	return space, auto, nil
 }
 
 // sweepDepth varies the queue-purifier depth in the full simulator,
 // running all depths (times all seeds) concurrently and folding the
 // seed dimension into mean ± 95% CI columns.
 func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string, fs fault.Spec) error {
-	space, err := depthSweepSpace(gridN, seeds, failure, fs)
+	space, autoRouting, err := depthSweepSpace(gridN, seeds, failure, fs)
 	if err != nil {
 		return err
+	}
+	if autoRouting {
+		fmt.Fprintln(os.Stderr, "sweep: -fault-dead switches routing to fault-adaptive (the static default would fail every blocked path)")
 	}
 	opts := []simulate.SweepOption{simulate.WithWorkers(workers)}
 	if cacheDir != "" {
@@ -219,7 +227,7 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string, fs 
 	if err != nil {
 		return err
 	}
-	if err := writeDepthTable(points, gridN, len(space.Seeds)); err != nil {
+	if err := writeDepthTable(points, gridN, len(space.Seeds), autoRouting); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "sweep:", simulate.Summarize(points))
@@ -228,7 +236,10 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string, fs 
 
 // writeDepthTable renders the depth-ablation table shared by the local
 // and distributed depth sweeps, failing on the first errored point.
-func writeDepthTable(points []simulate.SweepPoint, gridN, seeds int) error {
+// Each row names its routing policy; autoRouting marks policies the
+// sweep switched to itself (dead links force fault-adaptive) so a
+// faulted table is never mistaken for a default-routed one.
+func writeDepthTable(points []simulate.SweepPoint, gridN, seeds int, autoRouting bool) error {
 	for _, pt := range points {
 		if pt.Err != nil {
 			return pt.Err
@@ -237,10 +248,14 @@ func writeDepthTable(points []simulate.SweepPoint, gridN, seeds int) error {
 	t := report.NewTable(
 		fmt.Sprintf("Queue-purifier depth ablation (QFT-%d, HomeBase, t=g=16 p=8, %d seeds)",
 			gridN*gridN, seeds),
-		"Depth", "PairsPerOutput", "PairsDelivered", "MeanExec", "ExecCI95")
+		"Depth", "Routing", "PairsPerOutput", "PairsDelivered", "MeanExec", "ExecCI95")
 	for _, g := range stats.Group(points) {
 		e := g.Ensemble
-		t.AddRow(g.Point.Depth, 1<<uint(g.Point.Depth),
+		routing := g.Point.RoutingName()
+		if autoRouting {
+			routing += " (auto)"
+		}
+		t.AddRow(g.Point.Depth, routing, 1<<uint(g.Point.Depth),
 			uint64(e.PairsDelivered.Mean),
 			e.MeanExec().String(),
 			fmt.Sprintf("± %s", time.Duration(e.Exec.CI(0.95).Half()*float64(time.Second))))
@@ -268,10 +283,13 @@ func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure fl
 		Seeds:       simulate.SeedRange(seeds),
 		FailureRate: failure,
 	}
+	autoRouting := false
 	if !fs.Empty() {
 		spec.Faults = []fault.Spec{fs}
 		if fs.DeadLinks > 0 {
 			spec.Routings = []string{"fault-adaptive"}
+			autoRouting = true
+			fmt.Fprintln(os.Stderr, "sweep: -fault-dead switches routing to fault-adaptive (the static default would fail every blocked path)")
 		}
 	}
 
@@ -311,7 +329,7 @@ func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure fl
 	if err != nil {
 		return err
 	}
-	if err := writeDepthTable(points, gridN, len(spec.Seeds)); err != nil {
+	if err := writeDepthTable(points, gridN, len(spec.Seeds), autoRouting); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "sweep:", rep)

@@ -13,6 +13,7 @@
 //	POST /v1/jobs             submit a shard (JSON distrib.Job)
 //	GET  /v1/jobs/{id}/stream newline-delimited JSON results
 //	GET  /v1/healthz          liveness
+//	GET  /v1/status           live worker telemetry (JSON distrib.Status)
 //	GET/PUT /v1/store/...     the local store, when -serve-store is set
 //
 // Usage:
@@ -21,6 +22,7 @@
 //	sweepd -listen :9000 -cache-dir /var/qnet/store -serve-store
 //	sweepd -listen :9000 -parallel 4
 //	sweepd -listen :9000 -run-parallel 4
+//	sweepd -listen :9000 -telemetry 100us   # per-run tracers feed /v1/status
 //
 // With -serve-store the worker also exposes its own store over the
 // store API, so a small fleet can elect any worker as the shared
@@ -45,6 +47,7 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "points simulated concurrently per job (0 = GOMAXPROCS)")
 		runParallel = flag.Int("run-parallel", 0, "row-band regions of the parallel event engine per simulation (0 or 1 = serial; results are byte-identical)")
 		serveStore  = flag.Bool("serve-store", false, "also expose the worker's local store over the /v1/store API")
+		telemetry   = flag.Duration("telemetry", 0, "attach a per-run telemetry tracer sampled at this simulated-time interval, feeding /v1/status with live event-rate and occupancy (0 = progress counters only)")
 	)
 	flag.Parse()
 
@@ -60,11 +63,15 @@ func main() {
 		store = simulate.NewCache(0)
 	}
 
-	worker := distrib.NewWorker(
+	wopts := []distrib.WorkerOption{
 		distrib.WithWorkerStore(store),
 		distrib.WithWorkerParallelism(*parallel),
 		distrib.WithWorkerRunParallelism(*runParallel),
-	)
+	}
+	if *telemetry > 0 {
+		wopts = append(wopts, distrib.WithWorkerTelemetry(*telemetry))
+	}
+	worker := distrib.NewWorker(wopts...)
 	server := distrib.NewServer(worker)
 	defer server.Close()
 
@@ -72,6 +79,7 @@ func main() {
 	mux.Handle("/v1/jobs", server.Handler())
 	mux.Handle("/v1/jobs/", server.Handler())
 	mux.Handle("/v1/healthz", server.Handler())
+	mux.Handle("/v1/status", server.Handler())
 	if *serveStore {
 		mux.Handle("/v1/store/", distrib.NewStoreServer(store).Handler())
 	}

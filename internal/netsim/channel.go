@@ -81,14 +81,15 @@ func (s *simulator) channel(src, dst mesh.Coord, done func()) {
 	}
 
 	ch := &channelRun{
-		sim:   s,
-		dirs:  dirs,
-		tiles: tiles,
+		sim: s,
+		src: src,
+		dst: dst,
 		done: func() {
 			s.latencies.Add(float64(s.engine.Now() - start))
 			done()
 		},
 	}
+	ch.base = batchFlight{ch: ch, dirs: dirs, tiles: tiles}
 	if s.faults != nil {
 		ch.budget = dropBudgetPerBatch * uint64(s.numBatches)
 	}
@@ -125,9 +126,12 @@ func (s *simulator) routeChannel(src, dst mesh.Coord) ([]mesh.Direction, error) 
 
 // channelRun tracks one channel's in-flight batches.
 type channelRun struct {
-	sim     *simulator
-	dirs    []mesh.Direction
-	tiles   []mesh.Coord
+	sim      *simulator
+	src, dst mesh.Coord
+	// base is the channel's setup-time path, shared read-only by every
+	// batch that follows it; resent batches of an adaptive policy may
+	// fly a fresher path (see resend).
+	base    batchFlight
 	outputs int
 	done    func()
 	// attempts counts batch transmissions (initial sends plus drop and
@@ -138,29 +142,100 @@ type channelRun struct {
 	finished bool
 }
 
+// batchFlight is the path one batch flies: a dirs/tiles pair the hop
+// chain indexes into.  It is immutable once built — in-flight batches
+// release storage by indexing their own path, so a path is never
+// mutated while any batch references it.  All initial batches share
+// the channel's base flight; only adaptive-policy resends allocate a
+// fresh one.
+type batchFlight struct {
+	ch    *channelRun
+	dirs  []mesh.Direction
+	tiles []mesh.Coord
+}
+
 func (ch *channelRun) startBatch() {
+	if ch.sim.err != nil {
+		return
+	}
+	if !ch.admit() {
+		return
+	}
+	ch.base.hop(0)
+}
+
+// admit counts one batch transmission against the resend budget,
+// failing the run with a structured error once a faulty mesh exhausts
+// it.
+func (ch *channelRun) admit() bool {
+	ch.attempts++
+	if ch.budget > 0 && ch.attempts > ch.budget {
+		ch.sim.fail(&fault.ExcessiveLossError{
+			Src:      ch.src,
+			Dst:      ch.dst,
+			Attempts: ch.attempts - 1,
+		})
+		return false
+	}
+	return true
+}
+
+// resend injects a replacement batch after a drop or a purification
+// failure.  This is where the stale-load fix lives: an adaptive policy
+// (one without a route cache) re-routes the replacement with the
+// routers' *current* loads — the congestion that built up since channel
+// setup, read through the same counters the tracer samples — instead of
+// replaying a path chosen from a snapshot that may be long stale.
+// Deterministic policies re-fly the cached path unchanged, and healthy
+// deterministic runs never resend at all, so their results stay
+// byte-identical to the pre-fix simulator.  If re-routing fails (e.g. a
+// transiently blocked faulty path), the batch falls back to the
+// channel's validated setup-time path.
+func (ch *channelRun) resend() {
 	s := ch.sim
 	if s.err != nil {
 		return
 	}
-	ch.attempts++
-	if ch.budget > 0 && ch.attempts > ch.budget {
-		s.fail(&fault.ExcessiveLossError{
-			Src:      ch.tiles[0],
-			Dst:      ch.tiles[len(ch.tiles)-1],
-			Attempts: ch.attempts - 1,
-		})
+	if !ch.admit() {
 		return
 	}
-	ch.hop(0)
+	f := &ch.base
+	if s.routes == nil {
+		if nf := ch.reroute(); nf != nil {
+			f = nf
+		}
+	}
+	if t := s.cfg.Trace; t != nil {
+		li := s.cfg.Grid.LinkIndex(s.cfg.Grid.LinkFrom(f.tiles[0], f.dirs[0]))
+		t.RecordResend(s.engine.Now(), li)
+	}
+	f.hop(0)
+}
+
+// reroute resolves a fresh path for a replacement batch under the live
+// loads, or nil to keep the setup-time path.  All shipped adaptive
+// policies are minimal, so the fresh path's hop count (and with it the
+// batch's purification and delivery latencies) matches the original.
+func (ch *channelRun) reroute() *batchFlight {
+	s := ch.sim
+	dirs, err := s.routeChannel(ch.src, ch.dst)
+	if err != nil {
+		return nil
+	}
+	tiles, err := s.cfg.Grid.Follow(ch.src, dirs)
+	if err != nil || tiles[len(tiles)-1] != ch.dst {
+		return nil
+	}
+	return &batchFlight{ch: ch, dirs: dirs, tiles: tiles}
 }
 
 // hop advances a batch from tiles[i] to tiles[i+1].
-func (ch *channelRun) hop(i int) {
+func (f *batchFlight) hop(i int) {
+	ch := f.ch
 	s := ch.sim
-	from := ch.tiles[i]
-	to := ch.tiles[i+1]
-	dir := ch.dirs[i]
+	from := f.tiles[i]
+	to := f.tiles[i+1]
+	dir := f.dirs[i]
 
 	// Storage at the receiving T' node: traffic arrives from the
 	// opposite direction of travel.
@@ -175,7 +250,7 @@ func (ch *channelRun) hop(i int) {
 			// turn penalty when the route changes axis at this node.
 			node := s.nodes[s.cfg.Grid.Index(from)]
 			latency := s.teleportLatency()
-			if i > 0 && ch.dirs[i-1].Axis() != dir.Axis() {
+			if i > 0 && f.dirs[i-1].Axis() != dir.Axis() {
 				latency += node.TurnPenalty()
 				s.turns++
 			}
@@ -187,7 +262,7 @@ func (ch *channelRun) hop(i int) {
 				// The batch now occupies storage at `to`; it frees its
 				// slot at the previous tile (held since the prior hop).
 				if i > 0 {
-					prev := s.nodes[s.cfg.Grid.Index(from)].Storage(ch.dirs[i-1].Opposite())
+					prev := s.nodes[s.cfg.Grid.Index(from)].Storage(f.dirs[i-1].Opposite())
 					prev.Release()
 				}
 				if ch.droppedOn(li) {
@@ -196,13 +271,16 @@ func (ch *channelRun) hop(i int) {
 					// is sent from the channel source (budget permitting).
 					store.Release()
 					s.droppedBatches++
-					ch.startBatch()
+					if t := s.cfg.Trace; t != nil {
+						t.RecordDrop(s.engine.Now(), li)
+					}
+					ch.resend()
 					return
 				}
-				if i+1 < len(ch.dirs) {
-					ch.hop(i + 1)
+				if i+1 < len(f.dirs) {
+					f.hop(i + 1)
 				} else {
-					ch.arrive()
+					f.arrive()
 				}
 			})
 		})
@@ -225,11 +303,12 @@ func (ch *channelRun) droppedOn(li int) bool {
 
 // arrive runs the endpoint stages for one batch: correction, then
 // synchronized queue purification at both endpoint P nodes.
-func (ch *channelRun) arrive() {
+func (f *batchFlight) arrive() {
+	ch := f.ch
 	s := ch.sim
-	last := len(ch.tiles) - 1
-	dstIdx := s.cfg.Grid.Index(ch.tiles[last])
-	srcIdx := s.cfg.Grid.Index(ch.tiles[0])
+	last := len(f.tiles) - 1
+	dstIdx := s.cfg.Grid.Index(f.tiles[last])
+	srcIdx := s.cfg.Grid.Index(f.tiles[0])
 
 	// Corrector: the accumulated Pauli frame costs at most two
 	// single-qubit gates, applied to each pair of the batch in parallel.
@@ -245,9 +324,9 @@ func (ch *channelRun) arrive() {
 			s.purify[hi].Acquire(func() {
 				// Purify: free the arrival storage slot as the batch
 				// drains into the purifier.
-				storeDir := ch.dirs[len(ch.dirs)-1].Opposite()
+				storeDir := f.dirs[len(f.dirs)-1].Opposite()
 				s.nodes[dstIdx].Storage(storeDir).Release()
-				latency := s.purifyBatchLatency(len(ch.dirs))
+				latency := s.purifyBatchLatency(len(f.dirs))
 				rounds := s.cfg.batchPairs() - 1 // tree of 2^d leaves has 2^d - 1 purifications
 				for k := 0; k < rounds; k++ {
 					s.net.RecordPurify()
@@ -260,7 +339,7 @@ func (ch *channelRun) arrive() {
 						// through the network (Figure 14's natural
 						// rebuild).
 						s.failedBatches++
-						ch.startBatch()
+						ch.resend()
 						return
 					}
 					ch.output()
@@ -281,9 +360,11 @@ func (ch *channelRun) output() {
 	ch.finished = true
 	// All physical qubits of the logical qubit teleport in parallel,
 	// each consuming one delivered pair; the latency is one teleport
-	// plus the classical correction round trip over the path.
-	latency := s.cfg.Params.TeleportTime(len(ch.dirs)*s.cfg.HopCells) +
-		s.net.Latency(len(ch.dirs))
+	// plus the classical correction round trip over the setup-time path
+	// (the channel-level delivery metric; minimal-policy resends fly
+	// paths of the same length).
+	latency := s.cfg.Params.TeleportTime(len(ch.base.dirs)*s.cfg.HopCells) +
+		s.net.Latency(len(ch.base.dirs))
 	s.engine.Schedule(latency, ch.done)
 }
 

@@ -37,6 +37,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -98,8 +99,8 @@ type Config struct {
 	// across the mesh.  nil selects route.XYOrder, the paper's
 	// dimension-order routing; any policy (including the adaptive
 	// route.LeastCongested, which consults the routers' live loads at
-	// channel-setup time) can be plugged in without touching the
-	// simulator core.
+	// channel-setup time and again for every resent batch) can be
+	// plugged in without touching the simulator core.
 	Route route.Policy
 	// PurifyFailureRate injects stochastic purification failure: each
 	// batch fails end-to-end purification with this probability and a
@@ -126,6 +127,16 @@ type Config struct {
 	// a serial run of the same Config, which is why the field is
 	// excluded from result cache keys.
 	Parallel int
+	// Trace attaches a telemetry tracer to the run: it is bound to the
+	// mesh at build time and sampled at its interval boundaries through
+	// the engine's probe hook, recording per-router occupancy, per-link
+	// utilization and drop/resend events over simulated time.  nil (the
+	// default) disables tracing at the cost of one nil check per event.
+	// A tracer is an observer, never part of the model — a traced run
+	// executes the same events and produces a byte-identical Result —
+	// which is why the field, like Parallel, is excluded from result
+	// cache keys.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the paper's simulation parameters on the given
@@ -313,6 +324,31 @@ func (l loads) StorageLoad(c mesh.Coord, from mesh.Direction) float64 {
 	return l.s.nodes[l.s.cfg.Grid.Index(c)].StorageLoad(from)
 }
 
+// traceSource adapts the simulator's router nodes and link generators
+// to the trace.Source interface: the tracer samples exactly the
+// counters the loads adapter normalizes for adaptive routing, so the
+// exported time series is the live load view, not a parallel
+// bookkeeping layer.
+type traceSource struct{ s *simulator }
+
+// SampleOccupancy fills per-tile router queue occupancy in batches.
+func (ts traceSource) SampleOccupancy(dst []float64) {
+	for i, n := range ts.s.nodes {
+		dst[i] = float64(n.Occupancy())
+	}
+}
+
+// SampleLinkBusy fills per-link cumulative generator busy time.
+func (ts traceSource) SampleLinkBusy(dst []time.Duration) {
+	for i, g := range ts.s.gnodes {
+		_, _, busy := g.Stats()
+		dst[i] = busy
+	}
+}
+
+// LinkCapacity returns the per-link generator unit count.
+func (ts traceSource) LinkCapacity() int { return ts.s.cfg.Generators }
+
 func (s *simulator) build(prog workload.Program) error {
 	cfg := s.cfg
 	var err error
@@ -439,6 +475,15 @@ func (s *simulator) build(prog workload.Program) error {
 	for k, op := range prog.Ops {
 		s.lastOp[op.A] = k
 		s.lastOp[op.B] = k
+	}
+
+	// The tracer (when attached) binds to this run's mesh and installs
+	// itself as the engine's sampling probe.  The probe fires at exact
+	// interval boundaries without scheduling events, so the traced run's
+	// event stream — and Result — is byte-identical to an untraced one.
+	if cfg.Trace != nil {
+		cfg.Trace.Bind(cfg.Grid, traceSource{s})
+		s.engine.SetProbe(cfg.Trace, cfg.Trace.Interval())
 	}
 
 	// Pre-size the event queue for the expected in-flight batch volume:

@@ -3,6 +3,9 @@ package perfbench
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/sim"
 )
 
 func BenchmarkEngineSchedule(b *testing.B) { EngineSchedule(b) }
@@ -33,4 +36,32 @@ func BenchmarkSweep(b *testing.B) {
 
 func BenchmarkDistribSweep(b *testing.B) {
 	b.Run("workers=2", DistributedSweep(2))
+}
+
+func BenchmarkTraceQFT(b *testing.B) {
+	for _, mode := range TraceModes {
+		b.Run("trace="+mode, TraceQFT(mode))
+	}
+}
+
+// TestEngineStepZeroAllocWithoutProbe pins the telemetry hook's
+// disabled cost: with no probe attached, the engine's schedule+step
+// churn must not allocate at all.  The probe hook is one nil check on
+// the hot path; if it ever grows an allocation, tracer-off runs pay
+// for telemetry nobody asked for.
+func TestEngineStepZeroAllocWithoutProbe(t *testing.T) {
+	const pending = 256
+	e := sim.New()
+	e.Reserve(pending + 2)
+	fn := func() {}
+	for i := 0; i < pending; i++ {
+		e.Schedule(time.Duration(i+1)*time.Microsecond, fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(pending*time.Microsecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+step with no probe: %.1f allocs/op, want 0", allocs)
+	}
 }

@@ -1,0 +1,78 @@
+// The telemetry tracer's overhead benchmarks: the same full QFT run as
+// QFTRun with the tracer off, sampling finely, and sampling coarsely,
+// so the cost of observation is a tracked number rather than folklore.
+
+package perfbench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/qnet"
+	"repro/qnet/simulate"
+	"repro/qnet/trace"
+)
+
+// TraceModes are the tracer-overhead benchmark's modes, in the order
+// cmd/bench records them: "off" is the zero-cost baseline (no tracer
+// attached — one nil check per engine step), "on" samples every
+// simulated microsecond (the package default, thousands of samples per
+// run), "sampled" samples every simulated millisecond (a handful of
+// samples per run, the figure generators' regime).
+var TraceModes = []string{"off", "on", "sampled"}
+
+// traceModeInterval maps a TraceModes entry to its sampling interval
+// (zero = no tracer).
+func traceModeInterval(b *testing.B, mode string) (time.Duration, bool) {
+	switch mode {
+	case "off":
+		return 0, false
+	case "on":
+		return time.Microsecond, true
+	case "sampled":
+		return time.Millisecond, true
+	}
+	b.Fatalf("unknown trace mode %q", mode)
+	return 0, false
+}
+
+// TraceQFT returns a benchmark running the full benchGrid QFT
+// (MobileQubit, default routing) with the telemetry tracer in the given
+// mode.  One iteration is one complete run; comparing the modes'
+// events/sec against each other — and "off" against the plain QFTRun
+// numbers — pins the tracer's overhead.
+func TraceQFT(mode string) func(*testing.B) {
+	return func(b *testing.B) {
+		interval, traced := traceModeInterval(b, mode)
+		grid, err := qnet.NewGrid(benchGrid, benchGrid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := simulate.New(grid, simulate.MobileQubit,
+			simulate.WithResources(16, 16, 8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if traced {
+			// One tracer reused across iterations: each run rebinds it,
+			// which resets the rings, exactly as a long-lived worker does.
+			m = m.WithTrace(trace.New(trace.Config{Interval: interval}))
+		}
+		prog := qnet.QFT(grid.Tiles())
+		ctx := context.Background()
+		res, err := m.Run(ctx, prog) // warm run: learn the event count
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(ctx, prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportEventRate(b, res.Events)
+	}
+}

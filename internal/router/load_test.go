@@ -93,3 +93,78 @@ func TestStorageLoadAccountsCreditsAndWaiters(t *testing.T) {
 		t.Errorf("absent link storage load %v, want 0", got)
 	}
 }
+
+// TestLoadsExceedOneUnderBacklog pins the route.Loads contract in the
+// deep-backlog regime: AxisLoad and StorageLoad are counter-over-
+// capacity ratios, NOT bounded fractions, and grow past 1.0 with every
+// queued job.  Consumers that need [0, 1] — the congestion heatmap's
+// color scale — must clamp at their own normalization layer
+// (trace.Clamp01); the contract here is that the raw signal keeps
+// ranking congested nodes even when every candidate is saturated.
+func TestLoadsExceedOneUnderBacklog(t *testing.T) {
+	// The X teleporter set has capacity 2 and East storage has limit 2,
+	// so `acquires` jobs mean max(acquires-2, 0) backlogged ones.
+	cases := []struct {
+		acquires int
+		want     float64
+	}{
+		{0, 0},
+		{1, 0.5},
+		{2, 1}, // saturated, nothing queued
+		{3, 1.5},
+		{4, 2}, // one full extra wave queued
+		{6, 3}, // deep backlog keeps scaling linearly
+	}
+	for _, c := range cases {
+		n := loadNode(t)
+		x := n.TeleporterSet(0)
+		s := n.Storage(mesh.East)
+		for i := 0; i < c.acquires; i++ {
+			x.Acquire(func() {})
+			s.Acquire(func() {})
+		}
+		if got := n.AxisLoad(0); got != c.want {
+			t.Errorf("%d acquires: AxisLoad(0) = %v, want %v", c.acquires, got, c.want)
+		}
+		if got := n.StorageLoad(mesh.East); got != c.want {
+			t.Errorf("%d acquires: StorageLoad(East) = %v, want %v", c.acquires, got, c.want)
+		}
+	}
+}
+
+// TestOccupancyAggregatesLoadCounters asserts Occupancy sums, in
+// batches, exactly the counters AxisLoad and StorageLoad normalize —
+// the invariant that makes the telemetry tracer's occupancy series and
+// adaptive routing's load view two readings of one signal.
+func TestOccupancyAggregatesLoadCounters(t *testing.T) {
+	n := loadNode(t)
+	if got := n.Occupancy(); got != 0 {
+		t.Fatalf("idle node occupancy %d, want 0", got)
+	}
+	// 3 jobs on the X set (2 busy + 1 queued), 1 on the Y set, and 5
+	// storage acquires on East (2 credits + 3 waiters): 9 batches total.
+	for i := 0; i < 3; i++ {
+		n.TeleporterSet(0).Acquire(func() {})
+	}
+	n.TeleporterSet(1).Acquire(func() {})
+	for i := 0; i < 5; i++ {
+		n.Storage(mesh.East).Acquire(func() {})
+	}
+	if got := n.Occupancy(); got != 9 {
+		t.Errorf("occupancy %d, want 9", got)
+	}
+	// Cross-check against the normalized views: occupancy must equal
+	// the denormalized sum of every axis and storage load.
+	sum := 0.0
+	for axis := 0; axis < 2; axis++ {
+		sum += n.AxisLoad(axis) * float64(n.TeleporterSet(axis).Capacity())
+	}
+	for _, d := range []mesh.Direction{mesh.East, mesh.West, mesh.North, mesh.South} {
+		if s := n.Storage(d); s != nil {
+			sum += n.StorageLoad(d) * float64(s.Limit())
+		}
+	}
+	if int(sum) != n.Occupancy() {
+		t.Errorf("denormalized load sum %v != occupancy %d", sum, n.Occupancy())
+	}
+}

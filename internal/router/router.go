@@ -138,6 +138,26 @@ func (n *Node) StorageLoad(fromDir mesh.Direction) float64 {
 	return float64(s.Limit()-s.Available()+s.Waiting()) / float64(s.Limit())
 }
 
+// Occupancy returns the node's total live queue occupancy: jobs in
+// service or waiting at both teleporter sets, plus storage credits
+// taken or queued for across every incoming link.  It aggregates, in
+// units of batches, exactly the counters AxisLoad and StorageLoad
+// normalize — the quantity the telemetry tracer samples over simulated
+// time.
+func (n *Node) Occupancy() int {
+	occ := 0
+	for axis := 0; axis < 2; axis++ {
+		r := n.sets[axis]
+		occ += r.InUse() + r.QueueLen()
+	}
+	for _, s := range n.storage {
+		if s != nil {
+			occ += s.Limit() - s.Available() + s.Waiting()
+		}
+	}
+	return occ
+}
+
 // TurnPenalty returns the ballistic-move latency for switching between
 // the X and Y teleporter sets and counts the turn.
 func (n *Node) TurnPenalty() time.Duration {

@@ -38,6 +38,25 @@ type Engine struct {
 	// backing array stops growing once it covers the peak backlog.
 	arena []eventSlot
 	free  int32 // head of the free-slot list, -1 when empty
+
+	// probe, when non-nil, is sampled at every probeInterval boundary of
+	// simulated time (see SetProbe).  The disabled path costs one nil
+	// check per Step and allocates nothing.
+	probe         Probe
+	probeInterval time.Duration
+	probeNext     time.Duration
+}
+
+// Probe observes the engine at fixed simulated-time boundaries.  It is
+// the telemetry hook of the tracing layer: Step calls Sample(t, n) for
+// every boundary t the clock crosses, before executing the event that
+// crosses it, with n the events executed so far.  Sampling happens
+// outside the event queue — a probe never schedules events, so a probed
+// run executes exactly the same events as an unprobed one (Processed
+// and every model counter are unaffected).  Sample must not mutate the
+// model; it runs on the engine's goroutine.
+type Probe interface {
+	Sample(now time.Duration, processed uint64)
 }
 
 // heapEntry is one inline heap element.  It carries the ordering key
@@ -92,6 +111,40 @@ func (e *Engine) Reserve(n int) {
 		a := make([]eventSlot, len(e.arena), n)
 		copy(a, e.arena)
 		e.arena = a
+	}
+}
+
+// SetProbe installs (or, with a nil probe, removes) the engine's
+// sampling probe.  The first sample fires at the first multiple of
+// interval strictly after the current clock, then every interval of
+// simulated time after that — boundaries are exact multiples of the
+// interval, so two runs of the same model sample at identical instants
+// regardless of their event times.  interval must be positive when a
+// probe is installed.
+func (e *Engine) SetProbe(p Probe, interval time.Duration) {
+	if p == nil {
+		e.probe = nil
+		return
+	}
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: probe interval must be positive, got %v", interval))
+	}
+	e.probe = p
+	e.probeInterval = interval
+	e.probeNext = (e.now/interval + 1) * interval
+}
+
+// runProbe fires the probe for every interval boundary up to and
+// including t, advancing the clock to each boundary first so time-based
+// statistics (resource busy time) are exact at the sampling instant.
+// It is kept out of line so the probe-disabled Step stays small.
+func (e *Engine) runProbe(t time.Duration) {
+	for t >= e.probeNext {
+		if e.probeNext > e.now {
+			e.now = e.probeNext
+		}
+		e.probe.Sample(e.probeNext, e.stepped)
+		e.probeNext += e.probeInterval
 	}
 }
 
@@ -205,6 +258,11 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.heapPop()
+		if e.probe != nil && top.at >= e.probeNext {
+			// Sample every boundary the clock is about to cross, before
+			// the event that crosses it executes.
+			e.runProbe(top.at)
+		}
 		e.now = top.at
 		e.stepped++
 		e.live--
@@ -303,6 +361,11 @@ func (e *Engine) RunUntil(t time.Duration) {
 			break
 		}
 		e.Step()
+	}
+	if e.probe != nil && t >= e.probeNext {
+		// Boundaries between the last event and t fire now, so a window
+		// advance samples the same instants a serial run would.
+		e.runProbe(t)
 	}
 	if t > e.now {
 		e.now = t

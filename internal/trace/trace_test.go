@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+)
+
+// fakeSource is a deterministic stand-in for the netsim counters.
+type fakeSource struct {
+	occ     []float64
+	busy    []time.Duration
+	linkCap int
+}
+
+func (f *fakeSource) SampleOccupancy(dst []float64)      { copy(dst, f.occ) }
+func (f *fakeSource) SampleLinkBusy(dst []time.Duration) { copy(dst, f.busy) }
+func (f *fakeSource) LinkCapacity() int                  { return f.linkCap }
+
+// newBound builds a tracer bound to a 2x2 mesh (4 tiles, 4 links) over
+// the given source.
+func newBound(t *testing.T, cfg Config, src *fakeSource) *Tracer {
+	t.Helper()
+	grid, err := mesh.NewGrid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(cfg)
+	tr.Bind(grid, src)
+	return tr
+}
+
+// TestSampleSeries pins the sampling math: occupancy is copied through,
+// and link utilization is the busy-time delta over capacity x elapsed.
+func TestSampleSeries(t *testing.T) {
+	src := &fakeSource{
+		occ:     []float64{1, 0, 2, 0},
+		busy:    []time.Duration{time.Microsecond, 0, 0, 0},
+		linkCap: 2,
+	}
+	tr := newBound(t, Config{Interval: time.Microsecond}, src)
+
+	tr.Sample(time.Microsecond, 100)
+	// Link 0 was busy 1µs of a 1µs window with 2 units: utilization 0.5.
+	src.busy[0] = 3 * time.Microsecond // +2µs over the next 1µs window: saturated
+	src.occ[0] = 5
+	tr.Sample(2*time.Microsecond, 250)
+
+	ex := tr.Export()
+	if ex.Version != Version || ex.GridW != 2 || ex.GridH != 2 {
+		t.Fatalf("export header = %q %dx%d", ex.Version, ex.GridW, ex.GridH)
+	}
+	if want := []int64{1000, 2000}; !reflect.DeepEqual(ex.Times, want) {
+		t.Errorf("Times = %v, want %v", ex.Times, want)
+	}
+	if want := []uint64{100, 250}; !reflect.DeepEqual(ex.Events, want) {
+		t.Errorf("Events = %v, want %v", ex.Events, want)
+	}
+	if got := ex.Occupancy[1][0]; got != 5 {
+		t.Errorf("Occupancy[1][0] = %v, want 5", got)
+	}
+	if got := ex.LinkUtil[0][0]; got != 0.5 {
+		t.Errorf("first-window utilization = %v, want 0.5", got)
+	}
+	if got := ex.LinkUtil[1][0]; got != 1.0 {
+		t.Errorf("second-window utilization = %v, want 1.0", got)
+	}
+	if got := ex.LinkUtil[1][1]; got != 0 {
+		t.Errorf("idle link utilization = %v, want 0", got)
+	}
+}
+
+// TestSampleRingWrap pins the ring contract: only the most recent
+// Capacity samples are retained, oldest first, and TotalSamples still
+// counts every one taken.
+func TestSampleRingWrap(t *testing.T) {
+	src := &fakeSource{occ: make([]float64, 4), busy: make([]time.Duration, 4), linkCap: 1}
+	tr := newBound(t, Config{Interval: time.Microsecond, Capacity: 4}, src)
+	for i := 1; i <= 10; i++ {
+		tr.Sample(time.Duration(i)*time.Microsecond, uint64(i*10))
+	}
+	if got := tr.Samples(); got != 4 {
+		t.Fatalf("Samples() = %d, want 4", got)
+	}
+	ex := tr.Export()
+	if ex.TotalSamples != 10 {
+		t.Errorf("TotalSamples = %d, want 10", ex.TotalSamples)
+	}
+	if want := []int64{7000, 8000, 9000, 10000}; !reflect.DeepEqual(ex.Times, want) {
+		t.Errorf("Times = %v, want %v (oldest first)", ex.Times, want)
+	}
+}
+
+// TestEventRingWrap pins the drop/resend log's ring: totals keep
+// counting while the log retains the most recent entries oldest-first.
+func TestEventRingWrap(t *testing.T) {
+	src := &fakeSource{occ: make([]float64, 4), busy: make([]time.Duration, 4), linkCap: 1}
+	tr := newBound(t, Config{Interval: time.Microsecond, EventCapacity: 3}, src)
+	tr.RecordDrop(1*time.Microsecond, 0)
+	tr.RecordResend(2*time.Microsecond, 1)
+	tr.RecordDrop(3*time.Microsecond, 2)
+	tr.RecordResend(4*time.Microsecond, 3)
+	tr.RecordDrop(5*time.Microsecond, 0)
+
+	ex := tr.Export()
+	if ex.TotalDrops != 3 || ex.TotalResends != 2 {
+		t.Errorf("totals = %d drops, %d resends, want 3, 2", ex.TotalDrops, ex.TotalResends)
+	}
+	want := []Event{
+		{At: 3 * time.Microsecond, Kind: Drop, Link: 2},
+		{At: 4 * time.Microsecond, Kind: Resend, Link: 3},
+		{At: 5 * time.Microsecond, Kind: Drop, Link: 0},
+	}
+	if !reflect.DeepEqual(ex.Log, want) {
+		t.Errorf("Log = %v, want %v", ex.Log, want)
+	}
+}
+
+// TestLiveSnapshot pins the concurrent snapshot's contents.
+func TestLiveSnapshot(t *testing.T) {
+	src := &fakeSource{occ: []float64{2, 4, 0, 2}, busy: make([]time.Duration, 4), linkCap: 1}
+	tr := newBound(t, Config{Interval: time.Microsecond}, src)
+	if lv := tr.Live(); lv != (Live{}) {
+		t.Fatalf("pre-sample Live = %+v, want zero", lv)
+	}
+	tr.RecordDrop(500*time.Nanosecond, 1)
+	tr.Sample(time.Microsecond, 42)
+	lv := tr.Live()
+	want := Live{At: time.Microsecond, Events: 42, Samples: 1, MeanOccupancy: 2, Drops: 1}
+	if lv != want {
+		t.Errorf("Live = %+v, want %+v", lv, want)
+	}
+}
+
+// TestBindResets pins that rebinding a tracer to a new run clears every
+// recorded series — a tracer records one run at a time.
+func TestBindResets(t *testing.T) {
+	src := &fakeSource{occ: make([]float64, 4), busy: make([]time.Duration, 4), linkCap: 1}
+	tr := newBound(t, Config{Interval: time.Microsecond}, src)
+	tr.Sample(time.Microsecond, 10)
+	tr.RecordDrop(time.Microsecond, 0)
+
+	grid, err := mesh.NewGrid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Bind(grid, src)
+	if got := tr.Samples(); got != 0 {
+		t.Errorf("Samples() after rebind = %d, want 0", got)
+	}
+	ex := tr.Export()
+	if ex.TotalSamples != 0 || ex.TotalDrops != 0 || len(ex.Log) != 0 {
+		t.Errorf("rebind kept state: %d samples, %d drops, %d log entries",
+			ex.TotalSamples, ex.TotalDrops, len(ex.Log))
+	}
+	if lv := tr.Live(); lv != (Live{}) {
+		t.Errorf("Live after rebind = %+v, want zero", lv)
+	}
+}
+
+// TestExportRoundTrip pins the serialization: Encode → Decode preserves
+// the export, and re-encoding is byte-identical (the determinism the
+// trace parity tests lean on).
+func TestExportRoundTrip(t *testing.T) {
+	src := &fakeSource{
+		occ:     []float64{1.5, 0, 0.25, 3},
+		busy:    []time.Duration{time.Microsecond, 0, 500 * time.Nanosecond, 0},
+		linkCap: 2,
+	}
+	tr := newBound(t, Config{Interval: time.Microsecond}, src)
+	tr.Sample(time.Microsecond, 7)
+	tr.RecordResend(1500*time.Nanosecond, 2)
+	tr.Sample(2*time.Microsecond, 19)
+	ex := tr.Export()
+
+	var buf bytes.Buffer
+	if err := ex.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	dec, err := Decode(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, ex) {
+		t.Errorf("decoded export differs:\n got %+v\nwant %+v", dec, ex)
+	}
+	var buf2 bytes.Buffer
+	if err := dec.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Error("re-encoded export is not byte-identical")
+	}
+}
+
+// TestDecodeRejectsVersion pins the format gate.
+func TestDecodeRejectsVersion(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"version":"qnet-trace-v0"}`)); err == nil {
+		t.Error("Decode accepted an unknown version")
+	}
+	if _, err := Decode(strings.NewReader(`{`)); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}
+
+// TestClamp01 is the normalization-layer half of the route.Loads
+// contract: loads legitimately exceed 1.0 under backlog, and the
+// figure/heatmap layer clamps them rather than assuming bounded inputs.
+func TestClamp01(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{-1, 0},
+		{-0.001, 0},
+		{0, 0},
+		{0.5, 0.5},
+		{1, 1},
+		{1.001, 1}, // just over capacity: one queued batch
+		{1.75, 1},  // the backlog regime route.Loads reports
+		{3.25, 1},  // deep backlog
+		{math.Inf(1), 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

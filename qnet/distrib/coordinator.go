@@ -29,6 +29,7 @@ type Coordinator struct {
 	store     simulate.Store
 	storeURL  string
 	logf      func(format string, args ...any)
+	progress  func(worker string, st Status)
 }
 
 // CoordinatorOption configures a Coordinator.
@@ -56,13 +57,25 @@ func WithRetryBackoff(d time.Duration) CoordinatorOption {
 	return func(c *Coordinator) { c.backoff = d }
 }
 
-// WithHeartbeat enables active liveness probing: every worker is
-// polled at this period, and two consecutive failed probes mark it
-// dead and abort its in-flight shard (which then reassigns).  Zero
-// (the default) relies on in-band detection only — a dead worker is
-// noticed when its result stream breaks.
+// WithHeartbeat enables active liveness probing: every worker's Status
+// is fetched at this period, and two consecutive failed fetches mark
+// the worker dead and abort its in-flight shard (which then
+// reassigns).  Each successful beat also feeds the WithProgress
+// callback, so heartbeats double as live progress/telemetry probes.
+// Zero (the default) relies on in-band detection only — a dead worker
+// is noticed when its result stream breaks.
 func WithHeartbeat(d time.Duration) CoordinatorOption {
 	return func(c *Coordinator) { c.heartbeat = d }
+}
+
+// WithProgress installs a per-worker progress callback, invoked with
+// each successful heartbeat's Status snapshot — shard progress plus,
+// for workers built with WithWorkerTelemetry, the live event rate and
+// router occupancy of their in-flight runs.  It only fires while a
+// heartbeat period is set (WithHeartbeat); the callback must be safe
+// for concurrent calls, one goroutine per worker.
+func WithProgress(f func(worker string, st Status)) CoordinatorOption {
+	return func(c *Coordinator) { c.progress = f }
 }
 
 // WithSharedStore gives the coordinator the fleet's shared result
@@ -351,8 +364,10 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 		}(worker)
 	}
 
-	// Heartbeat monitor: active liveness probing, aborting in-flight
-	// shards of workers that stop answering.
+	// Heartbeat monitor: each beat fetches the worker's live Status, so
+	// one probe serves two purposes — liveness (workers that stop
+	// answering are marked dead and their in-flight shards aborted) and
+	// progress telemetry (successful beats feed WithProgress).
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	if c.heartbeat > 0 {
@@ -369,7 +384,8 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 						return
 					case <-t.C:
 					}
-					if c.transport.Healthy(hbCtx, worker) != nil {
+					st, err := c.transport.Status(hbCtx, worker)
+					if err != nil {
 						if misses++; misses >= 2 {
 							markDead(worker)
 							fl := flights[worker]
@@ -380,8 +396,11 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 							fl.mu.Unlock()
 							return
 						}
-					} else {
-						misses = 0
+						continue
+					}
+					misses = 0
+					if c.progress != nil {
+						c.progress(worker, st)
 					}
 				}
 			}(worker)

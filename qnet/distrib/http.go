@@ -5,6 +5,7 @@
 //	POST /v1/jobs             <- JSON Job, -> 202 + {"id": "..."}
 //	GET  /v1/jobs/{id}/stream -> newline-delimited JSON stream lines
 //	GET  /v1/healthz          -> 200 "ok"
+//	GET  /v1/status           -> 200 + JSON Status (live worker telemetry)
 //
 // Each stream line carries either one finished point, a terminal
 // worker-side error, or the terminal done marker; a stream that ends
@@ -31,6 +32,9 @@ const jobsPath = "/v1/jobs"
 
 // healthzPath is the liveness endpoint.
 const healthzPath = "/v1/healthz"
+
+// statusPath is the live worker-telemetry endpoint.
+const statusPath = "/v1/status"
 
 // streamLine is one newline-delimited JSON line of a job's result
 // stream: exactly one of Point, Err or Done is set.
@@ -90,6 +94,14 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(healthzPath, func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc(statusPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.worker.Status())
 	})
 	mux.HandleFunc(jobsPath, s.serveSubmit)
 	mux.HandleFunc(jobsPath+"/", s.serveStream)
@@ -302,6 +314,33 @@ func (t *HTTPTransport) Run(ctx context.Context, worker string, job Job, emit fu
 		return fmt.Errorf("distrib: stream from %s: %w", worker, err)
 	}
 	return fmt.Errorf("distrib: stream from %s truncated", worker)
+}
+
+// Status fetches the worker's /v1/status telemetry snapshot with a
+// short deadline layered under ctx.
+func (t *HTTPTransport) Status(ctx context.Context, worker string) (Status, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(worker, "/")+statusPath, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Status{}, fmt.Errorf("distrib: status from %s: %s", worker, resp.Status)
+	}
+	if decErr != nil {
+		return Status{}, fmt.Errorf("distrib: status from %s: %w", worker, decErr)
+	}
+	return st, nil
 }
 
 // Healthy probes the worker's /v1/healthz endpoint with a short

@@ -133,6 +133,24 @@ func (l *Loopback) Run(ctx context.Context, worker string, job Job, emit func(Po
 	return nil
 }
 
+// Status returns the named worker's live telemetry snapshot, failing
+// like Healthy for unknown or dead workers.
+func (l *Loopback) Status(_ context.Context, worker string) (Status, error) {
+	l.mu.Lock()
+	lw := l.workers[worker]
+	switch {
+	case lw == nil:
+		l.mu.Unlock()
+		return Status{}, fmt.Errorf("distrib: unknown loopback worker %q", worker)
+	case lw.dead:
+		l.mu.Unlock()
+		return Status{}, fmt.Errorf("distrib: loopback worker %q is dead", worker)
+	}
+	w := lw.worker
+	l.mu.Unlock()
+	return w.Status(), nil
+}
+
 // Healthy reports the named worker's liveness.
 func (l *Loopback) Healthy(_ context.Context, worker string) error {
 	l.mu.Lock()

@@ -1,0 +1,29 @@
+// Per-worker live telemetry: the progress/health snapshot a worker
+// exports while it executes, carried over the transport so coordinator
+// heartbeats double as progress probes.
+
+package distrib
+
+// Status is one worker's live telemetry snapshot: shard progress plus
+// the aggregate event-rate and congestion view of the runs in flight.
+// The progress counters are always maintained; the event-rate and
+// occupancy fields are fed by qnet/trace and stay zero unless the
+// worker was built with WithWorkerTelemetry.
+type Status struct {
+	// ActivePoints is how many run points the worker is simulating
+	// right now.
+	ActivePoints int `json:"active_points"`
+	// DonePoints counts run points the worker has finished since it
+	// started — simulated, store-served and failed alike.
+	DonePoints uint64 `json:"done_points"`
+	// Events is the summed processed-event count of the active traced
+	// runs, as of each run's latest telemetry sample.
+	Events uint64 `json:"events"`
+	// EventRate is the summed simulation event rate of the active
+	// traced runs, in events per second of simulated time.
+	EventRate float64 `json:"event_rate"`
+	// Occupancy is the mean router queue occupancy across the active
+	// traced runs' latest samples, in batches per router — the same
+	// series the congestion tracer exports.
+	Occupancy float64 `json:"occupancy"`
+}

@@ -1,0 +1,183 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// executeShard runs one shard on the worker, discarding results.
+func executeShard(t *testing.T, w *Worker, indices []int) {
+	t.Helper()
+	spec := testSpec(t)
+	err := w.Execute(context.Background(), Job{Space: spec, Indices: indices}, func(PointResult) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerStatusProgressCounters pins the always-on half of Status:
+// DonePoints counts every finished point across shards, and
+// ActivePoints drains back to zero, telemetry or not.
+func TestWorkerStatusProgressCounters(t *testing.T) {
+	w := NewWorker(WithWorkerParallelism(2))
+	if st := w.Status(); st != (Status{}) {
+		t.Fatalf("fresh worker status %+v, want zero", st)
+	}
+	executeShard(t, w, []int{0, 1, 2})
+	if st := w.Status(); st.DonePoints != 3 || st.ActivePoints != 0 {
+		t.Errorf("after one shard: %+v, want 3 done, 0 active", st)
+	}
+	executeShard(t, w, []int{3, 4})
+	if st := w.Status(); st.DonePoints != 5 {
+		t.Errorf("after two shards: %+v, want 5 done", st)
+	}
+	// Without telemetry there are no tracers to aggregate.
+	if st := w.Status(); st.Events != 0 || st.EventRate != 0 || st.Occupancy != 0 {
+		t.Errorf("telemetry-off worker reports telemetry: %+v", st)
+	}
+}
+
+// TestWorkerTelemetryObserverParity pins that a telemetry-on worker
+// emits point results identical to a telemetry-off one: the per-point
+// tracer is an observer, so mixed fleets stay consistent.
+func TestWorkerTelemetryObserverParity(t *testing.T) {
+	spec := testSpec(t)
+	execute := func(w *Worker) map[int]PointResult {
+		var mu sync.Mutex
+		got := make(map[int]PointResult)
+		err := w.Execute(context.Background(), Job{Space: spec, Indices: []int{0, 3, 6}}, func(pr PointResult) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got[pr.Index] = pr
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	plain := execute(NewWorker())
+	traced := execute(NewWorker(WithWorkerTelemetry(time.Millisecond)))
+	if len(traced) != len(plain) {
+		t.Fatalf("telemetry worker emitted %d points, plain %d", len(traced), len(plain))
+	}
+	for idx, want := range plain {
+		if got := traced[idx]; got != want {
+			t.Errorf("index %d: telemetry %+v, plain %+v", idx, got, want)
+		}
+	}
+}
+
+// TestLoopbackStatus pins the loopback transport's Status routing: a
+// live worker's snapshot comes through, an unknown name and a dead
+// worker error like Healthy does.
+func TestLoopbackStatus(t *testing.T) {
+	lb := NewLoopback()
+	w := NewWorker()
+	lb.Add("w0", w)
+	executeShard(t, w, []int{0, 1})
+
+	st, err := lb.Status(context.Background(), "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DonePoints != 2 {
+		t.Errorf("loopback status %+v, want 2 done", st)
+	}
+	if _, err := lb.Status(context.Background(), "nosuch"); err == nil {
+		t.Error("unknown worker reported a status")
+	}
+	lb.Add("w1", NewWorker())
+	lb.Kill("w1")
+	if _, err := lb.Status(context.Background(), "w1"); err == nil {
+		t.Error("dead worker reported a status")
+	}
+}
+
+// TestCoordinatorProgressCallback pins the heartbeat's progress path: a
+// sweep with WithHeartbeat and WithProgress observes per-worker live
+// snapshots while shards execute, and the final callbacks carry the
+// worker's cumulative point count.
+func TestCoordinatorProgressCallback(t *testing.T) {
+	spec := testSpec(t)
+	lb := NewLoopback()
+	lb.Add("w0", NewWorker(WithWorkerParallelism(1), WithWorkerTelemetry(time.Millisecond)))
+
+	var mu sync.Mutex
+	calls := 0
+	var last Status
+	coord, err := NewCoordinator(lb, []string{"w0"},
+		WithHeartbeat(2*time.Millisecond),
+		WithProgress(func(worker string, st Status) {
+			mu.Lock()
+			defer mu.Unlock()
+			if worker != "w0" {
+				t.Errorf("progress for unknown worker %q", worker)
+			}
+			calls++
+			last = st
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := coord.Sweep(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("progress callback never fired during the sweep")
+	}
+	if last.DonePoints == 0 {
+		t.Errorf("last progress snapshot %+v shows no completed points", last)
+	}
+}
+
+// TestHTTPStatusEndpoint pins the wire path: /v1/status serves the
+// worker's snapshot as JSON and HTTPTransport.Status decodes it.
+func TestHTTPStatusEndpoint(t *testing.T) {
+	w := NewWorker()
+	executeShard(t, w, []int{0, 1, 2, 3})
+	srv := NewServer(w)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, err := NewHTTPTransport().Status(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DonePoints != 4 || st.ActivePoints != 0 {
+		t.Errorf("HTTP status %+v, want 4 done, 0 active", st)
+	}
+	// The wire format is the documented snake_case JSON.
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"active_points", "done_points", "events", "event_rate", "occupancy"} {
+		if !json.Valid(data) || !containsField(data, field) {
+			t.Errorf("status JSON %s missing field %q", data, field)
+		}
+	}
+	// A vanished worker turns into a transport error, which the
+	// heartbeat counts as a miss.
+	ts.Close()
+	if _, err := NewHTTPTransport().Status(context.Background(), ts.URL); err == nil {
+		t.Error("closed worker server reported a status")
+	}
+}
+
+// containsField reports whether marshalled JSON has the given key.
+func containsField(data []byte, field string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return false
+	}
+	_, ok := m[field]
+	return ok
+}

@@ -19,4 +19,9 @@ type Transport interface {
 	Run(ctx context.Context, worker string, job Job, emit func(PointResult) error) error
 	// Healthy probes the named worker's liveness.
 	Healthy(ctx context.Context, worker string) error
+	// Status fetches the named worker's live telemetry snapshot —
+	// shard progress plus, for telemetry-enabled workers, the event
+	// rate and router occupancy of the runs in flight.  It doubles as
+	// a liveness probe: an unreachable or dead worker is an error.
+	Status(ctx context.Context, worker string) (Status, error)
 }

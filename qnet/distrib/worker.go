@@ -8,19 +8,30 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/qnet/simulate"
+	"repro/qnet/trace"
 )
 
 // Worker executes job shards via the in-process simulation engine.  A
-// Worker is stateless between jobs and safe for concurrent use; the
-// HTTP Server and the Loopback transport both drive one through
-// Execute.
+// Worker carries no job state between shards and is safe for concurrent
+// use; the HTTP Server and the Loopback transport both drive one
+// through Execute.  Status exposes its live progress counters and — with
+// WithWorkerTelemetry — the event-rate and occupancy telemetry of the
+// runs in flight.
 type Worker struct {
 	store       simulate.Store
 	parallel    int
 	runParallel int
 	newRemote   func(url string) simulate.Store
+	telemetry   bool
+	traceIv     time.Duration
+
+	mu     sync.Mutex
+	active map[*trace.Tracer]struct{} // tracers of in-flight points (telemetry on)
+	inRun  int                        // points simulating right now
+	done   uint64                     // points finished since the worker started
 }
 
 // WorkerOption configures a Worker.
@@ -50,14 +61,51 @@ func WithWorkerRunParallelism(n int) WorkerOption {
 	return func(w *Worker) { w.runParallel = n }
 }
 
+// WithWorkerTelemetry attaches a telemetry tracer (qnet/trace) to every
+// point the worker simulates, sampled at the given simulated-time
+// interval (non-positive selects the trace package default).  The live
+// snapshots feed Worker.Status — and through it the /v1/status endpoint
+// and the coordinator's WithProgress callback — with the in-flight
+// runs' event rates and router occupancy.  Tracers are observers:
+// results and cache keys are unchanged, so telemetry-on and
+// telemetry-off workers may share one fleet store.
+func WithWorkerTelemetry(interval time.Duration) WorkerOption {
+	return func(w *Worker) { w.telemetry, w.traceIv = true, interval }
+}
+
 // NewWorker builds a worker with the given options over the defaults
-// (no store, GOMAXPROCS-way parallelism, HTTP remote stores).
+// (no store, GOMAXPROCS-way parallelism, HTTP remote stores, no
+// telemetry).
 func NewWorker(opts ...WorkerOption) *Worker {
-	w := &Worker{newRemote: func(url string) simulate.Store { return NewRemoteStore(url) }}
+	w := &Worker{
+		newRemote: func(url string) simulate.Store { return NewRemoteStore(url) },
+		active:    make(map[*trace.Tracer]struct{}),
+	}
 	for _, opt := range opts {
 		opt(w)
 	}
 	return w
+}
+
+// Status returns the worker's live telemetry snapshot.  It is cheap
+// (one mutex and a read of each active run's latest sample) and safe to
+// call at heartbeat frequency while shards execute.
+func (w *Worker) Status() Status {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Status{ActivePoints: w.inRun, DonePoints: w.done}
+	for tr := range w.active {
+		lv := tr.Live()
+		st.Events += lv.Events
+		if lv.At > 0 {
+			st.EventRate += float64(lv.Events) / lv.At.Seconds()
+		}
+		st.Occupancy += lv.MeanOccupancy
+	}
+	if n := len(w.active); n > 0 {
+		st.Occupancy /= float64(n)
+	}
+	return st
 }
 
 // storeFor resolves the store one job runs against: the job's shared
@@ -168,8 +216,21 @@ func (w *Worker) Execute(ctx context.Context, job Job, emit func(PointResult) er
 }
 
 // runPoint executes one expanded point against the store (when
-// present), mapping simulation failure into the wire error form.
+// present), mapping simulation failure into the wire error form.  The
+// point is registered in the worker's live Status for its duration;
+// with telemetry on, a per-point tracer makes its event rate and
+// occupancy observable while it simulates.
 func (w *Worker) runPoint(ctx context.Context, space simulate.Space, pt simulate.Point, store simulate.Store) PointResult {
+	w.mu.Lock()
+	w.inRun++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.inRun--
+		w.done++
+		w.mu.Unlock()
+	}()
+
 	m, err := space.Machine(pt)
 	if err != nil {
 		return PointResult{Index: pt.Index, Err: err.Error()}
@@ -180,6 +241,18 @@ func (w *Worker) runPoint(ctx context.Context, space simulate.Space, pt simulate
 		if res, ok := store.Get(key); ok {
 			return PointResult{Index: pt.Index, Result: res, Cached: true}
 		}
+	}
+	if w.telemetry {
+		tr := trace.New(trace.Config{Interval: w.traceIv})
+		m = m.WithTrace(tr)
+		w.mu.Lock()
+		w.active[tr] = struct{}{}
+		w.mu.Unlock()
+		defer func() {
+			w.mu.Lock()
+			delete(w.active, tr)
+			w.mu.Unlock()
+		}()
 	}
 	res, err := m.Run(ctx, pt.Program)
 	if err != nil {

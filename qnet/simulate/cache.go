@@ -145,6 +145,13 @@ func keyFor(cfg netsim.Config, prog qnet.Program) Key {
 	// engine choice, not a model change — a parallel run is byte-
 	// identical to the serial run of the same config, so a cached serial
 	// result must answer a parallel request and vice versa.
+	//
+	// Config.Trace is deliberately NOT hashed either: a tracer observes
+	// the run through the engine's probe hook without scheduling events,
+	// so a traced run's Result is byte-identical to an untraced one —
+	// the tracer is an observer, not part of the model.  (A traced Run
+	// bypasses cache lookup so the tracer sees a real simulation, but
+	// stores its result under the same key an untraced run would.)
 
 	// Program fingerprint.
 	hashString(h, prog.Name)

@@ -46,6 +46,7 @@ import (
 	"repro/qnet"
 	"repro/qnet/fault"
 	"repro/qnet/route"
+	"repro/qnet/trace"
 )
 
 // Layout selects the logical-qubit floorplan (Figure 15).
@@ -180,6 +181,20 @@ func WithParallelism(n int) Option {
 	return optionFunc(func(s *machineSpec) { s.cfg.Parallel = n })
 }
 
+// WithTrace attaches a telemetry tracer (qnet/trace) to the machine:
+// every Run samples per-router occupancy, per-link utilization and
+// drop/resend events into it over simulated time.  The tracer is an
+// observer, not a model change — a traced run executes the same events
+// and produces a byte-identical Result, so CacheKey ignores it like
+// WithParallelism.  A traced Run always simulates (a cached Result has
+// nothing for the tracer to observe) but still stores its result into
+// an attached cache.  A Tracer records one run at a time; attach a
+// fresh tracer per concurrent run (Machine.WithTrace derives per-run
+// machines cheaply).
+func WithTrace(t *trace.Tracer) Option {
+	return optionFunc(func(s *machineSpec) { s.cfg.Trace = t })
+}
+
 // Machine is a configured, validated simulated quantum computer.  It is
 // immutable after New and safe for concurrent use: every Run builds
 // fresh simulator state (including a per-run RNG), so one Machine can
@@ -286,6 +301,21 @@ func (m *Machine) Parallelism() int { return m.cfg.Parallel }
 // machine).
 func (m *Machine) Faults() fault.Spec { return m.cfg.Faults }
 
+// Trace returns the machine's attached tracer, or nil when the machine
+// runs untraced.
+func (m *Machine) Trace() *trace.Tracer { return m.cfg.Trace }
+
+// WithTrace returns a copy of the machine with the given tracer
+// attached (or detached, with nil).  The copy shares the original's
+// configuration and store; because a Tracer records one run at a time,
+// deriving a per-run machine this way is how concurrent runs (sweep
+// points, distributed shards) each get their own telemetry.
+func (m *Machine) WithTrace(t *trace.Tracer) *Machine {
+	m2 := *m
+	m2.cfg.Trace = t
+	return &m2
+}
+
 // Cache returns the machine's attached result cache, or nil when the
 // machine was built without WithCache/WithCacheDir (or when the
 // attached Store is not a *Cache; use Store for the general form).
@@ -330,8 +360,14 @@ func (m *Machine) runCached(ctx context.Context, cfg netsim.Config, prog qnet.Pr
 		return netsim.RunContext(ctx, cfg, prog)
 	}
 	key := keyFor(cfg, prog)
-	if res, ok := m.store.Get(key); ok {
-		return res, nil
+	// A traced run never answers from the cache — the tracer observes
+	// the simulation itself, and a stored Result has no time series to
+	// give it — but its result is still stored: trace-on and trace-off
+	// runs produce identical Results, so the entry serves either.
+	if cfg.Trace == nil {
+		if res, ok := m.store.Get(key); ok {
+			return res, nil
+		}
 	}
 	res, err := netsim.RunContext(ctx, cfg, prog)
 	if err == nil {

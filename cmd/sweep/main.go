@@ -35,17 +35,29 @@
 //
 //	sweep -mode depth -workers http://h1:9000,http://h2:9000 \
 //	      -cache-dir .qnet -store-listen 10.0.0.5:9100
+//
+// With -journal a distributed sweep checkpoints shard completions to
+// an append-only journal in that directory; rerunning the identical
+// sweep after a coordinator crash re-dispatches only the unfinished
+// shards and reconstructs the rest from the shared store.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 configuration error,
+// 3 a shard exhausted its dispatch attempts, 4 interrupted (SIGINT/
+// SIGTERM or context deadline).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/figures"
@@ -73,17 +85,27 @@ func main() {
 		routes      = flag.String("routes", "", `routing policies to compare, comma-separated ("all" or e.g. "xy,yx,zigzag,least-congested"); implies -mode routes`)
 		faultDead   = flag.Float64("fault-dead", 0, "fraction of mesh links to kill per depth-sweep point (drawn from each point's seed; switches routing to fault-adaptive)")
 		faultDrop   = flag.Float64("fault-drop", 0, "per-link batch drop probability injected on live links for the depth sweep")
+		journalDir  = flag.String("journal", "", "directory for the distributed coordinator's checkpoint journal (empty: no journal); rerunning an identical sweep resumes it")
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the sweep context so in-flight shards abort
+	// cleanly; the distinct exit code tells schedulers apart from crash.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	goroutines, workerURLs, err := parseWorkers(*workers)
-	if err == nil {
+	if err != nil {
+		err = &configError{err}
+	} else {
 		switch {
 		case len(workerURLs) > 0 && *mode != "depth" && *routes == "":
-			err = fmt.Errorf("distributed -workers is only supported with -mode depth")
+			err = &configError{fmt.Errorf("distributed -workers is only supported with -mode depth")}
+		case *journalDir != "" && len(workerURLs) == 0:
+			err = &configError{fmt.Errorf("-journal is only supported with distributed -workers")}
 		case *routes != "" || *mode == "routes":
 			if len(workerURLs) > 0 {
-				err = fmt.Errorf("distributed -workers is only supported with -mode depth")
+				err = &configError{fmt.Errorf("distributed -workers is only supported with -mode depth")}
 			} else {
 				err = sweepRoutes(*routes, *gridN, goroutines, *seeds, *failure, *cacheDir)
 			}
@@ -92,21 +114,48 @@ func main() {
 		case *mode == "hops":
 			err = sweepHops(*dist)
 		case *mode == "depth" && len(workerURLs) > 0:
-			err = sweepDepthDistributed(*gridN, workerURLs, *seeds, *failure, *cacheDir, *storeListen,
+			err = sweepDepthDistributed(ctx, *gridN, workerURLs, *seeds, *failure, *cacheDir, *storeListen, *journalDir,
 				fault.Spec{DeadLinks: *faultDead, Drop: *faultDrop})
 		case *mode == "depth":
-			err = sweepDepth(*gridN, goroutines, *seeds, *failure, *cacheDir,
+			err = sweepDepth(ctx, *gridN, goroutines, *seeds, *failure, *cacheDir,
 				fault.Spec{DeadLinks: *faultDead, Drop: *faultDrop})
 		case *mode == "methodology":
 			err = sweepMethodology()
 		default:
-			err = fmt.Errorf("unknown mode %q (want errors, hops, depth, routes or methodology)", *mode)
+			err = &configError{fmt.Errorf("unknown mode %q (want errors, hops, depth, routes or methodology)", *mode)}
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// configError marks a failure in flags or setup rather than in the
+// sweep itself; it exits with a distinct code so schedulers never
+// retry a sweep that can only fail the same way again.
+type configError struct{ err error }
+
+// Error formats the wrapped error.
+func (e *configError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (e *configError) Unwrap() error { return e.err }
+
+// exitCode maps a sweep failure to the process exit code documented in
+// the package comment: 2 for configuration errors, 3 when a shard
+// exhausted its dispatch attempts, 4 for interruption, 1 otherwise.
+func exitCode(err error) int {
+	var cfg *configError
+	switch {
+	case errors.As(err, &cfg):
+		return 2
+	case errors.Is(err, distrib.ErrAttemptsExhausted):
+		return 3
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 4
+	}
+	return 1
 }
 
 // parseWorkers interprets the -workers flag: a bare integer is a
@@ -207,7 +256,7 @@ func depthSweepSpace(gridN, seeds int, failure float64, fs fault.Spec) (simulate
 // sweepDepth varies the queue-purifier depth in the full simulator,
 // running all depths (times all seeds) concurrently and folding the
 // seed dimension into mean ± 95% CI columns.
-func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string, fs fault.Spec) error {
+func sweepDepth(ctx context.Context, gridN, workers, seeds int, failure float64, cacheDir string, fs fault.Spec) error {
 	space, autoRouting, err := depthSweepSpace(gridN, seeds, failure, fs)
 	if err != nil {
 		return err
@@ -223,7 +272,7 @@ func sweepDepth(gridN, workers, seeds int, failure float64, cacheDir string, fs 
 		}
 		opts = append(opts, simulate.WithCache(cache))
 	}
-	points, err := simulate.Sweep(context.Background(), space, opts...)
+	points, err := simulate.Sweep(ctx, space, opts...)
 	if err != nil {
 		return err
 	}
@@ -268,8 +317,9 @@ func writeDepthTable(points []simulate.SweepPoint, gridN, seeds int, autoRouting
 // as a wire spec, shards stream back over HTTP, and the merged points
 // feed the identical table.  With -store-listen set, the coordinator
 // also serves its cache (disk-backed under -cache-dir) as the fleet's
-// shared result store.
-func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure float64, cacheDir, storeListen string, fs fault.Spec) error {
+// shared result store; with -journal it checkpoints shard completions
+// so an identical rerun resumes instead of restarting.
+func sweepDepthDistributed(ctx context.Context, gridN int, workerURLs []string, seeds int, failure float64, cacheDir, storeListen, journalDir string, fs fault.Spec) error {
 	grid, err := qnet.NewGrid(gridN, gridN)
 	if err != nil {
 		return err
@@ -315,18 +365,25 @@ func sweepDepthDistributed(gridN int, workerURLs []string, seeds int, failure fl
 		fmt.Fprintln(os.Stderr, "sweep: serving shared store on", storeURL)
 	}
 
-	coord, err := distrib.NewCoordinator(distrib.NewHTTPTransport(), workerURLs,
+	copts := []distrib.CoordinatorOption{
 		distrib.WithSharedStore(store, storeURL),
-		distrib.WithHeartbeat(2*time.Second),
+		distrib.WithHeartbeat(2 * time.Second),
 		distrib.WithLogf(func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}),
-	)
+	}
+	if journalDir != "" {
+		copts = append(copts, distrib.WithJournal(journalDir))
+	}
+	coord, err := distrib.NewCoordinator(distrib.NewHTTPTransport(), workerURLs, copts...)
 	if err != nil {
 		return err
 	}
-	points, rep, err := coord.Sweep(context.Background(), spec)
+	points, rep, err := coord.Sweep(ctx, spec)
 	if err != nil {
+		// The partial report tells the operator what the fleet did get
+		// done (and which workers died or drained) before the failure.
+		fmt.Fprintln(os.Stderr, "sweep: partial report:", rep)
 		return err
 	}
 	if err := writeDepthTable(points, gridN, len(spec.Seeds), autoRouting); err != nil {

@@ -23,18 +23,29 @@
 //	sweepd -listen :9000 -parallel 4
 //	sweepd -listen :9000 -run-parallel 4
 //	sweepd -listen :9000 -telemetry 100us   # per-run tracers feed /v1/status
+//	sweepd -listen :9000 -drain-timeout 30s # graceful-drain deadline on SIGTERM
 //
 // With -serve-store the worker also exposes its own store over the
 // store API, so a small fleet can elect any worker as the shared
 // store instead of running one beside the coordinator.
+//
+// On SIGTERM (or SIGINT) the daemon drains instead of dying: it
+// refuses new jobs with 503 "draining", answers healthz the same way
+// so coordinators stop dispatching to it, finishes the shards already
+// in flight (up to -drain-timeout), then exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/qnet/distrib"
 	"repro/qnet/simulate"
@@ -48,6 +59,7 @@ func main() {
 		runParallel = flag.Int("run-parallel", 0, "row-band regions of the parallel event engine per simulation (0 or 1 = serial; results are byte-identical)")
 		serveStore  = flag.Bool("serve-store", false, "also expose the worker's local store over the /v1/store API")
 		telemetry   = flag.Duration("telemetry", 0, "attach a per-run telemetry tracer sampled at this simulated-time interval, feeding /v1/status with live event-rate and occupancy (0 = progress counters only)")
+		drainLimit  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight shards before exiting anyway")
 	)
 	flag.Parse()
 
@@ -84,11 +96,32 @@ func main() {
 		mux.Handle("/v1/store/", distrib.NewStoreServer(store).Handler())
 	}
 
+	httpServer := &http.Server{Addr: *listen, Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
 	log.Printf("sweepd: serving job API on %s (store: %s, serve-store: %v)",
 		*listen, storeDesc(*cacheDir), *serveStore)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "sweepd:", err)
-		os.Exit(1)
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigs:
+		log.Printf("sweepd: %v: draining (refusing new jobs, finishing in-flight shards, limit %s)",
+			sig, *drainLimit)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainLimit)
+		if err := server.Drain(ctx); err != nil {
+			log.Printf("sweepd: drain deadline passed with shards still in flight: %v", err)
+		} else {
+			log.Printf("sweepd: drained, exiting")
+		}
+		httpServer.Shutdown(ctx)
+		cancel()
 	}
 }
 

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: two schedules with the same config must draw
+// identical decision sequences — the reproducibility contract the soak
+// test's per-seed runs depend on.
+func TestScheduleDeterminism(t *testing.T) {
+	a, b := New(Default(42)), New(Default(42))
+	for i := 0; i < 200; i++ {
+		if da, db := a.Dispatch(), b.Dispatch(); da != db {
+			t.Fatalf("draw %d: %+v != %+v", i, da, db)
+		}
+		if fa, fb := a.Flap(), b.Flap(); fa != fb {
+			t.Fatalf("flap draw %d: %v != %v", i, fa, fb)
+		}
+		if ma, mb := a.MissGet(), b.MissGet(); ma != mb {
+			t.Fatalf("miss draw %d: %v != %v", i, ma, mb)
+		}
+		if pa, pb := a.DropPut(), b.DropPut(); pa != pb {
+			t.Fatalf("drop draw %d: %v != %v", i, pa, pb)
+		}
+	}
+	if sa, sb := a.Stats(), b.Stats(); sa != sb {
+		t.Fatalf("stats diverged: %s != %s", sa, sb)
+	}
+}
+
+// TestScheduleSeedsDiffer: different seeds must not replay the same
+// schedule (probabilistically certain over enough draws).
+func TestScheduleSeedsDiffer(t *testing.T) {
+	a, b := New(Default(1)), New(Default(2))
+	for i := 0; i < 200; i++ {
+		if a.Dispatch() != b.Dispatch() {
+			return
+		}
+	}
+	t.Fatal("200 identical draws from different seeds")
+}
+
+// TestZeroConfigInjectsNothing: the zero Config is a no-op schedule.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	s := New(Config{Seed: 7})
+	for i := 0; i < 100; i++ {
+		d := s.Dispatch()
+		if d.Delay != 0 || d.Refuse || d.TruncateAfter >= 0 || d.Duplicate {
+			t.Fatalf("zero config injected %+v", d)
+		}
+		if s.Flap() || s.MissGet() || s.DropPut() {
+			t.Fatal("zero config injected a probe or store fault")
+		}
+	}
+	st := s.Stats()
+	if st.Injected() != 0 {
+		t.Fatalf("zero config stats: %s", st)
+	}
+	if st.Decisions != 400 {
+		t.Fatalf("decisions %d, want 400", st.Decisions)
+	}
+}
+
+// TestDefaultInjectsEveryClass: the Default config at rate ~0.1..0.3
+// per class must inject every fault class within a few hundred draws,
+// with Dispatch respecting the configured bounds.
+func TestDefaultInjectsEveryClass(t *testing.T) {
+	s := New(Default(3))
+	for i := 0; i < 500; i++ {
+		d := s.Dispatch()
+		if d.Delay < 0 || d.Delay > 2*time.Millisecond {
+			t.Fatalf("delay %v out of (0, MaxLatency]", d.Delay)
+		}
+		if d.TruncateAfter < -1 || d.TruncateAfter > 2 {
+			t.Fatalf("truncate-after %d out of range", d.TruncateAfter)
+		}
+		s.Flap()
+		s.MissGet()
+		s.DropPut()
+	}
+	st := s.Stats()
+	if st.Delays == 0 || st.Refusals == 0 || st.Truncations == 0 ||
+		st.Duplicates == 0 || st.Flaps == 0 || st.StoreMisses == 0 || st.StoreDrops == 0 {
+		t.Fatalf("a fault class never fired over 500 draws: %s", st)
+	}
+	if st.Injected() == 0 || st.Decisions != 2000 {
+		t.Fatalf("stats: %s", st)
+	}
+}

@@ -1,0 +1,101 @@
+package distrib
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/qnet/distrib/chaos"
+	"repro/qnet/simulate"
+)
+
+// TestChaosSoak is the headline robustness proof: many seeded chaos
+// schedules — injected latency, refused dispatches, mid-stream
+// truncation, duplicated result lines, health-probe flaps, store
+// misses and dropped writes — replayed over a loopback fleet, and for
+// every schedule the merged output must stay byte-identical to the
+// single-process sweep.  Each schedule runs under a wall-clock bound
+// (a hung retry loop fails the test rather than the suite), and the
+// whole soak must leak no goroutines.
+func TestChaosSoak(t *testing.T) {
+	spec := testSpec(t)
+	want := canonicalPoints(t, singleProcess(t, spec))
+
+	schedules := 20
+	if testing.Short() {
+		schedules = 5
+	}
+	before := runtime.NumGoroutine()
+
+	var total chaos.Stats
+	for seed := int64(1); seed <= int64(schedules); seed++ {
+		sched := chaos.New(chaos.Default(seed))
+		store := simulate.NewCache(0)
+		cstore := NewChaosStore(store, sched)
+
+		lb := NewLoopback()
+		workers := []string{"w0", "w1", "w2"}
+		for _, w := range workers {
+			lb.Add(w, NewWorker(WithWorkerStore(cstore)))
+		}
+		coord, err := NewCoordinator(NewChaos(lb, sched), workers,
+			WithSharedStore(cstore, ""),
+			WithShards(6),
+			WithMaxAttempts(30),
+			WithRetryBackoff(time.Millisecond),
+			WithRetryBackoffCap(5*time.Millisecond),
+			WithCircuitBreaker(3, 2*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The wall-clock bound: a coordinator that spins or hangs under
+		// chaos fails this schedule instead of stalling the suite.
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		points, rep, err := coord.Sweep(ctx, spec)
+		cancel()
+		if err != nil {
+			t.Fatalf("seed %d: sweep failed under chaos: %v (report: %s, chaos: %s)",
+				seed, err, rep, sched.Stats())
+		}
+		if got := canonicalPoints(t, points); string(got) != string(want) {
+			t.Fatalf("seed %d: chaos changed the merged output\n got %s\nwant %s", seed, got, want)
+		}
+		st := sched.Stats()
+		total.Decisions += st.Decisions
+		total.Delays += st.Delays
+		total.Refusals += st.Refusals
+		total.Truncations += st.Truncations
+		total.Duplicates += st.Duplicates
+		total.Flaps += st.Flaps
+		total.StoreMisses += st.StoreMisses
+		total.StoreDrops += st.StoreDrops
+		t.Logf("seed %d: report %s; chaos %s", seed, rep, st)
+	}
+
+	// The soak proves nothing if the schedules never actually injected:
+	// at the Default rates over this many dispatches, zero injections
+	// means the wiring is broken.
+	if total.Injected() == 0 {
+		t.Fatalf("no faults injected across %d schedules: %s", schedules, total)
+	}
+	t.Logf("soak total: %s", total)
+
+	// No goroutine leaks: retry timers, heartbeats and worker loops must
+	// all have unwound.  Collection is asynchronous, so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,5 +1,6 @@
 // The coordinator half of the distributed sweep service: shard
-// planning, dispatch, retry/backoff, dead-worker reassignment, and the
+// planning, dispatch, capped-exponential retry, circuit-breaker
+// quarantine, dead-worker reassignment, checkpoint journaling, and the
 // merge back into the single-process []simulate.SweepPoint contract.
 
 package distrib
@@ -15,21 +16,33 @@ import (
 	"repro/qnet/simulate"
 )
 
+// ErrAttemptsExhausted marks a sweep failure caused by a shard
+// exhausting its dispatch attempts (WithMaxAttempts).  It is wrapped
+// into the error Sweep returns, so front-ends can errors.Is-match the
+// exhausted-retries outcome distinctly from configuration errors and
+// cancellation.
+var ErrAttemptsExhausted = errors.New("distrib: shard attempts exhausted")
+
 // Coordinator shards a sweep space across a fleet of workers and
 // merges their streamed results.  Build one with NewCoordinator and
 // run sweeps with Sweep; a Coordinator is safe for sequential reuse
 // (one Sweep at a time).
 type Coordinator struct {
-	transport Transport
-	workers   []string
-	shards    int
-	attempts  int
-	backoff   time.Duration
-	heartbeat time.Duration
-	store     simulate.Store
-	storeURL  string
-	logf      func(format string, args ...any)
-	progress  func(worker string, st Status)
+	transport     Transport
+	workers       []string
+	shards        int
+	attempts      int
+	backoff       time.Duration
+	backoffCap    time.Duration
+	dispatchLimit time.Duration
+	breakAfter    int
+	breakCooldown time.Duration
+	heartbeat     time.Duration
+	journalDir    string
+	store         simulate.Store
+	storeURL      string
+	logf          func(format string, args ...any)
+	progress      func(worker string, st Status)
 }
 
 // CoordinatorOption configures a Coordinator.
@@ -50,11 +63,41 @@ func WithMaxAttempts(n int) CoordinatorOption {
 	return func(c *Coordinator) { c.attempts = n }
 }
 
-// WithRetryBackoff sets the delay before a failed shard is
-// re-enqueued (default 50ms; the delay grows linearly with the
-// shard's attempt count).
+// WithRetryBackoff sets the base delay before a failed shard is
+// re-enqueued (default 50ms).  The delay doubles with each failed
+// attempt up to the WithRetryBackoffCap ceiling, with deterministic
+// jitter in [delay/2, delay] so synchronized failures desynchronize
+// their retries.
 func WithRetryBackoff(d time.Duration) CoordinatorOption {
 	return func(c *Coordinator) { c.backoff = d }
+}
+
+// WithRetryBackoffCap sets the ceiling of the exponential retry delay
+// (default 2s).  A cap below the base collapses every retry to the
+// cap.
+func WithRetryBackoffCap(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.backoffCap = d }
+}
+
+// WithDispatchTimeout bounds each shard dispatch: a transport Run that
+// has not completed within d is cancelled and counts as a failed
+// attempt (retried with backoff like any other failure).  Zero (the
+// default) leaves dispatches bounded only by the sweep context — size
+// d to the slowest legitimate shard, not the mean.
+func WithDispatchTimeout(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.dispatchLimit = d }
+}
+
+// WithCircuitBreaker quarantines a worker after n consecutive failed
+// shard dispatches: the worker receives no new work for the cooldown,
+// then re-enters on probation — one further failure re-quarantines it
+// immediately, one success restores it fully.  Quarantine is for
+// workers that keep answering but keep failing (version skew, a bad
+// disk, a flaky link); genuinely dead workers are handled by the
+// healthz/heartbeat path instead.  n <= 0 disables the breaker.  The
+// default is 3 failures with a 1s cooldown.
+func WithCircuitBreaker(n int, cooldown time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.breakAfter, c.breakCooldown = n, cooldown }
 }
 
 // WithHeartbeat enables active liveness probing: every worker's Status
@@ -76,6 +119,20 @@ func WithHeartbeat(d time.Duration) CoordinatorOption {
 // for concurrent calls, one goroutine per worker.
 func WithProgress(f func(worker string, st Status)) CoordinatorOption {
 	return func(c *Coordinator) { c.progress = f }
+}
+
+// WithJournal enables the coordinator's checkpoint journal: an
+// append-only NDJSON file under dir (named by a hash of the spec and
+// shard plan) records each shard's completion as it lands.  A crashed
+// or cancelled Sweep re-run with the same journal directory, spec and
+// shard count re-dispatches only the unfinished shards; the finished
+// ones are reconstructed point by point from the shared store
+// (Report.ResumedShards counts them).  Resume therefore needs
+// WithSharedStore — without a store the journal still records, but
+// every shard re-dispatches.  A journaled shard containing a failed
+// point is never store-covered, so it too re-dispatches.
+func WithJournal(dir string) CoordinatorOption {
+	return func(c *Coordinator) { c.journalDir = dir }
 }
 
 // WithSharedStore gives the coordinator the fleet's shared result
@@ -103,12 +160,15 @@ func NewCoordinator(t Transport, workers []string, opts ...CoordinatorOption) (*
 		return nil, &qnet.ConfigError{Field: "Workers", Value: 0, Reason: "need at least one worker"}
 	}
 	c := &Coordinator{
-		transport: t,
-		workers:   workers,
-		shards:    4 * len(workers),
-		attempts:  len(workers) + 2,
-		backoff:   50 * time.Millisecond,
-		logf:      func(string, ...any) {},
+		transport:     t,
+		workers:       workers,
+		shards:        4 * len(workers),
+		attempts:      len(workers) + 2,
+		backoff:       50 * time.Millisecond,
+		backoffCap:    2 * time.Second,
+		breakAfter:    3,
+		breakCooldown: time.Second,
+		logf:          func(string, ...any) {},
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -126,6 +186,11 @@ type Report struct {
 	CacheHits int
 	// Shards is the number of planned shards.
 	Shards int
+	// ResumedShards counts shards never dispatched on this run because
+	// the checkpoint journal (WithJournal) recorded them complete and
+	// every one of their points was reconstructed from the shared
+	// store.
+	ResumedShards int
 	// Reassignments counts shard dispatches beyond each shard's first
 	// (retries on any worker plus failovers to another).
 	Reassignments int
@@ -140,9 +205,19 @@ type Report struct {
 	Mismatches int
 	// MismatchDetails are the first mismatches' metric deltas.
 	MismatchDetails []string
+	// Quarantines counts circuit-breaker trips across the fleet
+	// (WithCircuitBreaker): workers sidelined for a cooldown after
+	// consecutive failed dispatches.
+	Quarantines int
+	// QuarantinesByWorker counts circuit-breaker trips per worker (nil
+	// when the breaker never fired).
+	QuarantinesByWorker map[string]int
 	// DeadWorkers lists workers that were declared dead during the
 	// sweep.
 	DeadWorkers []string
+	// DrainingWorkers lists workers that refused new work because they
+	// were draining — healthy but unavailable, not dead.
+	DrainingWorkers []string
 	// ShardsByWorker counts completed shards per worker.
 	ShardsByWorker map[string]int
 	// Store is the shared store's counter snapshot after the sweep
@@ -154,8 +229,17 @@ type Report struct {
 func (r *Report) String() string {
 	out := fmt.Sprintf("%d points (%d store hits) over %d shards, %d reassignments, %d duplicates, %d mismatches",
 		r.Points, r.CacheHits, r.Shards, r.Reassignments, r.DuplicatePoints, r.Mismatches)
+	if r.ResumedShards > 0 {
+		out += fmt.Sprintf(", %d resumed from journal", r.ResumedShards)
+	}
+	if r.Quarantines > 0 {
+		out += fmt.Sprintf(", %d quarantines", r.Quarantines)
+	}
 	if len(r.DeadWorkers) > 0 {
 		out += fmt.Sprintf(", dead workers %v", r.DeadWorkers)
+	}
+	if len(r.DrainingWorkers) > 0 {
+		out += fmt.Sprintf(", draining workers %v", r.DrainingWorkers)
 	}
 	return out
 }
@@ -166,12 +250,78 @@ type shardState struct {
 	attempts int
 }
 
+// retryDelay computes the re-enqueue delay for a shard's k-th failed
+// attempt: base doubled per attempt, capped, then jittered into
+// [d/2, d] by a deterministic hash of the (shard, attempt) pair — no
+// RNG, so retry timing is reproducible while synchronized failures
+// still fan out.
+func retryDelay(base, ceil time.Duration, shard, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	h := uint64(shard)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + int64(h%uint64(half+1)))
+}
+
+// resumeShard reconstructs a journaled-complete shard's points from
+// the shared store; ok is false when any point is missing, in which
+// case the shard re-dispatches normally.
+func resumeShard(store simulate.Store, keys []simulate.Key, indices []int) ([]PointResult, bool) {
+	out := make([]PointResult, 0, len(indices))
+	for _, idx := range indices {
+		res, ok := store.Get(keys[idx])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, PointResult{Index: idx, Result: res, Cached: true})
+	}
+	return out, true
+}
+
+// confirmDead double-checks a suspect worker after a failed dispatch.
+// One probe is not proof: a flapped healthz must not kill a healthy
+// worker, so death requires two consecutive probe failures, and a
+// draining verdict is not death at all.
+func (c *Coordinator) confirmDead(ctx context.Context, worker string) (dead, draining bool) {
+	for probe := 0; ; probe++ {
+		err := c.transport.Healthy(ctx, worker)
+		switch {
+		case err == nil:
+			return false, false
+		case errors.Is(err, ErrWorkerDraining):
+			return false, true
+		case probe == 1:
+			return true, false
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			return false, false
+		}
+	}
+}
+
 // Sweep expands the spec, shards it across the fleet, and returns the
 // merged points in expansion order — the same contract as
 // simulate.Sweep over the same space — plus the operational Report.
 // Per-point simulation failures are recorded in SweepPoint.Err exactly
 // like the single-process engine; Sweep itself fails only when a shard
-// exhausts its attempts, every worker dies, or ctx is cancelled.
+// exhausts its attempts (ErrAttemptsExhausted), every worker dies or
+// drains with shards outstanding, or ctx is cancelled.
 func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.SweepPoint, *Report, error) {
 	space, err := spec.Space()
 	if err != nil {
@@ -184,7 +334,8 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 
 	// With a store attached, every point's content key is known up
 	// front (the same machine validation single-process Sweep performs
-	// eagerly); the keys drive the merge-time sanity check.
+	// eagerly); the keys drive the merge-time sanity check and the
+	// journal's resume path.
 	var keys []simulate.Key
 	if c.store != nil {
 		keys = make([]simulate.Key, len(pts))
@@ -200,6 +351,14 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 	shards := PlanShards(len(pts), c.shards)
 	rep := &Report{Shards: len(shards), ShardsByWorker: make(map[string]int)}
 
+	var jnl *journal
+	if c.journalDir != "" {
+		if jnl, err = openJournal(c.journalDir, spec, len(shards)); err != nil {
+			return nil, nil, err
+		}
+		defer jnl.close()
+	}
+
 	ctx, cancelSweep := context.WithCancel(ctx)
 	defer cancelSweep()
 
@@ -207,13 +366,32 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 		mu        sync.Mutex
 		merged    = make(map[int]PointResult, len(pts))
 		remaining = len(shards)
-		liveW     = len(c.workers)
+		dead      = make(map[string]bool, len(c.workers))
+		draining  = make(map[string]bool, len(c.workers))
 		failure   error
 	)
 	allDone := make(chan struct{})
 	pending := make(chan *shardState, len(shards))
 	for i := range shards {
-		pending <- &shardState{Shard: shards[i]}
+		sh := &shardState{Shard: shards[i]}
+		if jnl != nil && keys != nil && jnl.done[sh.ID] {
+			if prs, ok := resumeShard(c.store, keys, sh.Indices); ok {
+				for _, pr := range prs {
+					merged[pr.Index] = pr
+					rep.CacheHits++
+				}
+				rep.ResumedShards++
+				remaining--
+				continue
+			}
+		}
+		pending <- sh
+	}
+	if rep.ResumedShards > 0 {
+		c.logf("distrib: journal resumed %d of %d shards from the store", rep.ResumedShards, len(shards))
+	}
+	if remaining == 0 {
+		close(allDone)
 	}
 
 	fail := func(err error) {
@@ -225,18 +403,30 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 		cancelSweep()
 	}
 
+	// unavailable counts workers that can take no new work.  Callers
+	// hold mu.
+	unavailable := func() int {
+		n := 0
+		for _, w := range c.workers {
+			if dead[w] || draining[w] {
+				n++
+			}
+		}
+		return n
+	}
+
 	// merge folds one streamed point in, deduplicating overlap from
 	// reassigned shards and sanity-checking fresh results against the
 	// shared store.
 	merge := func(pr PointResult) error {
 		mu.Lock()
 		defer mu.Unlock()
+		if pr.Index < 0 || pr.Index >= len(pts) {
+			return fmt.Errorf("distrib: streamed point index %d out of range", pr.Index)
+		}
 		if _, dup := merged[pr.Index]; dup {
 			rep.DuplicatePoints++
 			return nil
-		}
-		if pr.Index < 0 || pr.Index >= len(pts) {
-			return fmt.Errorf("distrib: streamed point index %d out of range", pr.Index)
 		}
 		merged[pr.Index] = pr
 		if pr.Cached {
@@ -258,19 +448,33 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 
 	markDead := func(worker string) {
 		mu.Lock()
-		for _, w := range rep.DeadWorkers {
-			if w == worker {
-				mu.Unlock()
-				return
-			}
+		if dead[worker] {
+			mu.Unlock()
+			return
 		}
+		dead[worker] = true
 		rep.DeadWorkers = append(rep.DeadWorkers, worker)
-		liveW--
-		noneLeft := liveW == 0
+		none := unavailable() == len(c.workers) && remaining > 0
 		mu.Unlock()
 		c.logf("distrib: worker %s declared dead", worker)
-		if noneLeft {
-			fail(errors.New("distrib: every worker died with shards outstanding"))
+		if none {
+			fail(errors.New("distrib: every worker dead or draining with shards outstanding"))
+		}
+	}
+
+	markDraining := func(worker string) {
+		mu.Lock()
+		if draining[worker] {
+			mu.Unlock()
+			return
+		}
+		draining[worker] = true
+		rep.DrainingWorkers = append(rep.DrainingWorkers, worker)
+		none := unavailable() == len(c.workers) && remaining > 0
+		mu.Unlock()
+		c.logf("distrib: worker %s is draining; no new work dispatched to it", worker)
+		if none {
+			fail(errors.New("distrib: every worker dead or draining with shards outstanding"))
 		}
 	}
 
@@ -291,6 +495,7 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 		go func(worker string) {
 			defer wg.Done()
 			fl := flights[worker]
+			consecutive := 0 // failed dispatches since the last success
 			for {
 				var sh *shardState
 				select {
@@ -301,25 +506,26 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 				case sh = <-pending:
 				}
 				mu.Lock()
-				dead := false
-				for _, w := range rep.DeadWorkers {
-					if w == worker {
-						dead = true
-					}
-				}
-				if dead {
+				if dead[worker] || draining[worker] {
 					mu.Unlock()
 					pending <- sh // hand back untaken
 					return
 				}
-				if sh.attempts > 0 {
+				reassigned := sh.attempts > 0
+				if reassigned {
 					rep.Reassignments++
 				}
 				sh.attempts++
 				attempts := sh.attempts
 				mu.Unlock()
 
-				jctx, cancel := context.WithCancel(ctx)
+				var jctx context.Context
+				var cancel context.CancelFunc
+				if c.dispatchLimit > 0 {
+					jctx, cancel = context.WithTimeout(ctx, c.dispatchLimit)
+				} else {
+					jctx, cancel = context.WithCancel(ctx)
+				}
 				fl.mu.Lock()
 				fl.cancel = cancel
 				fl.mu.Unlock()
@@ -331,11 +537,17 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 				cancel()
 
 				if err == nil {
+					consecutive = 0
 					mu.Lock()
 					rep.ShardsByWorker[worker]++
 					remaining--
 					done := remaining == 0
 					mu.Unlock()
+					if jnl != nil {
+						if jerr := jnl.complete(sh.ID); jerr != nil {
+							c.logf("distrib: journal: %v", jerr)
+						}
+					}
 					if done {
 						close(allDone)
 						return
@@ -345,20 +557,76 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 				if ctx.Err() != nil {
 					return
 				}
-				c.logf("distrib: shard %d attempt %d on %s failed: %v", sh.ID, attempts, worker, err)
-				if attempts >= c.attempts {
-					fail(fmt.Errorf("distrib: shard %d failed after %d attempts: %w", sh.ID, attempts, err))
+				if errors.Is(err, ErrWorkerDraining) {
+					// Not a failure: the worker refused new work.  Hand
+					// the shard back with its attempt un-counted and stop
+					// dispatching here.
+					mu.Lock()
+					sh.attempts--
+					if reassigned {
+						rep.Reassignments--
+					}
+					mu.Unlock()
+					pending <- sh
+					markDraining(worker)
 					return
 				}
-				// Re-enqueue after a linear backoff; the buffered channel
-				// guarantees the send cannot block.
+				c.logf("distrib: shard %d attempt %d on %s failed: %v", sh.ID, attempts, worker, err)
+				if attempts >= c.attempts {
+					fail(fmt.Errorf("%w: shard %d failed after %d attempts: %v",
+						ErrAttemptsExhausted, sh.ID, attempts, err))
+					return
+				}
+				// Re-enqueue after a capped exponential backoff with
+				// deterministic jitter.  The timer goroutine parks on the
+				// sweep's lifetime channels, so a cancelled sweep never
+				// has a pending retry fire into it (the buffered channel
+				// also guarantees the send cannot block).
 				sst := sh
-				time.AfterFunc(time.Duration(attempts)*c.backoff, func() { pending <- sst })
+				delay := retryDelay(c.backoff, c.backoffCap, sh.ID, attempts)
+				go func() {
+					t := time.NewTimer(delay)
+					defer t.Stop()
+					select {
+					case <-t.C:
+						pending <- sst
+					case <-ctx.Done():
+					case <-allDone:
+					}
+				}()
 				// A broken stream usually means a dead worker; confirm
-				// out of band and stop pulling work if so.
-				if c.transport.Healthy(ctx, worker) != nil {
+				// out of band (twice — one flapped probe is not proof)
+				// and stop pulling work if so.
+				if isDead, isDraining := c.confirmDead(ctx, worker); isDead {
 					markDead(worker)
 					return
+				} else if isDraining {
+					markDraining(worker)
+					return
+				}
+				// The worker is alive but failing.  After breakAfter
+				// consecutive failures, quarantine it for the cooldown,
+				// then re-enter on probation: one more failure trips the
+				// breaker again immediately.
+				consecutive++
+				if c.breakAfter > 0 && consecutive >= c.breakAfter {
+					mu.Lock()
+					rep.Quarantines++
+					if rep.QuarantinesByWorker == nil {
+						rep.QuarantinesByWorker = make(map[string]int)
+					}
+					rep.QuarantinesByWorker[worker]++
+					mu.Unlock()
+					c.logf("distrib: worker %s quarantined after %d consecutive failures (cooldown %s)",
+						worker, consecutive, c.breakCooldown)
+					select {
+					case <-time.After(c.breakCooldown):
+					case <-ctx.Done():
+						return
+					case <-allDone:
+						return
+					}
+					consecutive = c.breakAfter - 1
 				}
 			}
 		}(worker)
@@ -386,6 +654,11 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 					}
 					st, err := c.transport.Status(hbCtx, worker)
 					if err != nil {
+						if errors.Is(err, ErrWorkerDraining) {
+							markDraining(worker)
+							misses = 0
+							continue
+						}
 						if misses++; misses >= 2 {
 							markDead(worker)
 							fl := flights[worker]
@@ -399,6 +672,9 @@ func (c *Coordinator) Sweep(ctx context.Context, spec SpaceSpec) ([]simulate.Swe
 						continue
 					}
 					misses = 0
+					if st.Draining {
+						markDraining(worker)
+					}
 					if c.progress != nil {
 						c.progress(worker, st)
 					}

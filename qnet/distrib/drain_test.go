@@ -1,0 +1,240 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/qnet/simulate"
+)
+
+// TestLoopbackDrainFailover: a draining worker refuses new shards with
+// ErrWorkerDraining; the coordinator treats it as healthy-but-
+// unavailable (never dead), finishes the sweep on the rest of the
+// fleet, and the merged output is unchanged.
+func TestLoopbackDrainFailover(t *testing.T) {
+	spec := testSpec(t)
+	want := canonicalPoints(t, singleProcess(t, spec))
+
+	store := simulate.NewCache(0)
+	lb := NewLoopback()
+	lb.Add("w0", NewWorker(WithWorkerStore(store)))
+	lb.Add("w1", NewWorker(WithWorkerStore(store)))
+	lb.Drain("w0")
+
+	coord, err := NewCoordinator(lb, []string{"w0", "w1"},
+		WithSharedStore(store, ""),
+		WithShards(4),
+		WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, rep, err := coord.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalPoints(t, points); string(got) != string(want) {
+		t.Fatalf("point set with a draining worker differs:\n got %s\nwant %s", got, want)
+	}
+	if len(rep.DrainingWorkers) != 1 || rep.DrainingWorkers[0] != "w0" {
+		t.Fatalf("draining workers %v, want [w0]", rep.DrainingWorkers)
+	}
+	if len(rep.DeadWorkers) != 0 {
+		t.Fatalf("draining worker was declared dead: %v", rep.DeadWorkers)
+	}
+	if rep.ShardsByWorker["w1"] != 4 {
+		t.Fatalf("survivor should own all 4 shards: %v", rep.ShardsByWorker)
+	}
+	// A drain refusal is not a failed attempt: no reassignments, no
+	// quarantines.
+	if rep.Reassignments != 0 || rep.Quarantines != 0 {
+		t.Fatalf("drain refusal counted as failure: %s", rep)
+	}
+	t.Logf("report: %s", rep)
+}
+
+// TestAllWorkersDrainingFails: a fleet with every worker draining must
+// fail the sweep promptly (workers are healthy, so nothing would ever
+// mark them dead — the drain path itself has to detect the stall).
+func TestAllWorkersDrainingFails(t *testing.T) {
+	spec := testSpec(t)
+	lb := NewLoopback()
+	lb.Add("w0", NewWorker())
+	lb.Drain("w0")
+	coord, err := NewCoordinator(lb, []string{"w0"}, WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var sweepErr error
+	go func() {
+		defer close(done)
+		_, _, sweepErr = coord.Sweep(context.Background(), spec)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("sweep hung with the whole fleet draining")
+	}
+	if sweepErr == nil {
+		t.Fatal("sweep succeeded with the whole fleet draining")
+	}
+	if !strings.Contains(sweepErr.Error(), "draining") {
+		t.Fatalf("want a draining-fleet error, got %v", sweepErr)
+	}
+}
+
+// TestHTTPServerDrain covers the server side of graceful shutdown: a
+// draining server answers healthz with 503 "draining", refuses new
+// submissions the same way, keeps /v1/status alive with Draining set,
+// and Drain blocks until every accepted job has streamed its terminal
+// line.
+func TestHTTPServerDrain(t *testing.T) {
+	spec := testSpec(t)
+	srv := NewServer(NewWorker())
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	tr := NewHTTPTransport()
+
+	if err := tr.Healthy(context.Background(), ts.URL); err != nil {
+		t.Fatalf("healthy before drain: %v", err)
+	}
+
+	// Accept one job pre-drain, but do not read its stream yet.
+	resp := submitJob(t, ts.URL, spec, []int{0})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pre-drain submit: status %d", resp.StatusCode)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil || accepted.ID == "" {
+		t.Fatalf("accept body: %v", err)
+	}
+	resp.Body.Close()
+
+	srv.StartDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+
+	// healthz now refuses with the draining marker...
+	err := tr.Healthy(context.Background(), ts.URL)
+	if !errors.Is(err, ErrWorkerDraining) {
+		t.Fatalf("healthz during drain: %v, want ErrWorkerDraining", err)
+	}
+	var terr *TransportError
+	if !errors.As(err, &terr) || terr.Op != "healthz" {
+		t.Fatalf("healthz drain error not structured: %#v", err)
+	}
+	// ...new submissions are refused the same way...
+	resp2 := submitJob(t, ts.URL, spec, []int{1})
+	b, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(b), drainingBody) {
+		t.Fatalf("submit during drain: status %d body %q", resp2.StatusCode, b)
+	}
+	// ...the transport maps that refusal to ErrWorkerDraining...
+	err = tr.Run(context.Background(), ts.URL, Job{Space: spec, Indices: []int{1}},
+		func(PointResult) error { return nil })
+	if !errors.Is(err, ErrWorkerDraining) {
+		t.Fatalf("Run during drain: %v, want ErrWorkerDraining", err)
+	}
+	// ...but status stays answerable, flagged draining.
+	st, err := tr.Status(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatalf("status during drain: %v", err)
+	}
+	if !st.Draining {
+		t.Fatal("Status.Draining false during drain")
+	}
+
+	// Drain must not complete while the accepted job's stream is unread.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	if err := srv.Drain(shortCtx); err == nil {
+		t.Fatal("Drain returned with an unstreamed job outstanding")
+	}
+	cancel()
+
+	// Reading the stream through its terminal line completes the drain.
+	streamResp, err := http.Get(ts.URL + jobsPath + "/" + accepted.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, streamResp.Body)
+	streamResp.Body.Close()
+	drainCtx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain after stream consumed: %v", err)
+	}
+}
+
+// TestHTTPCoordinatorDrainFailover runs the drain path end to end over
+// real HTTP: one of two sweepd-style servers is draining, and the
+// coordinator completes the sweep on the other, reporting the drained
+// worker as draining, not dead.
+func TestHTTPCoordinatorDrainFailover(t *testing.T) {
+	spec := testSpec(t)
+	want := canonicalPoints(t, singleProcess(t, spec))
+
+	store := simulate.NewCache(0)
+	storeSrv := httptest.NewServer(NewStoreServer(store).Handler())
+	defer storeSrv.Close()
+
+	var urls []string
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		srv := NewServer(NewWorker())
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+		servers = append(servers, srv)
+	}
+	servers[0].StartDrain()
+
+	coord, err := NewCoordinator(NewHTTPTransport(), urls,
+		WithSharedStore(store, storeSrv.URL),
+		WithShards(4),
+		WithRetryBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, rep, err := coord.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalPoints(t, points); string(got) != string(want) {
+		t.Fatalf("point set with a draining HTTP worker differs:\n got %s\nwant %s", got, want)
+	}
+	if len(rep.DrainingWorkers) != 1 || rep.DrainingWorkers[0] != urls[0] {
+		t.Fatalf("draining workers %v, want [%s]", rep.DrainingWorkers, urls[0])
+	}
+	if len(rep.DeadWorkers) != 0 {
+		t.Fatalf("draining worker declared dead: %v", rep.DeadWorkers)
+	}
+	t.Logf("report: %s", rep)
+}
+
+// submitJob POSTs one job to a worker server.
+func submitJob(t *testing.T, base string, spec SpaceSpec, indices []int) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(Job{Space: spec, Indices: indices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+jobsPath, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -36,6 +37,11 @@ const healthzPath = "/v1/healthz"
 // statusPath is the live worker-telemetry endpoint.
 const statusPath = "/v1/status"
 
+// drainingBody is the body a draining server answers healthz probes
+// and job submissions with (alongside 503); the client maps it to
+// ErrWorkerDraining.
+const drainingBody = "draining"
+
 // streamLine is one newline-delimited JSON line of a job's result
 // stream: exactly one of Point, Err or Done is set.
 type streamLine struct {
@@ -50,11 +56,12 @@ type streamLine struct {
 // jobState buffers one job's results between the executing goroutine
 // and (possibly later, possibly slower) stream readers.
 type jobState struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	points []PointResult
-	done   bool
-	err    error
+	mu       sync.Mutex
+	cond     *sync.Cond
+	points   []PointResult
+	done     bool
+	streamed bool // a reader consumed the stream through its terminal line
+	err      error
 }
 
 // newJobState builds an empty buffer.
@@ -66,15 +73,19 @@ func newJobState() *jobState {
 
 // Server serves the worker job API over a Worker.  Create it with
 // NewServer, mount Handler, and Close it on shutdown to cancel any
-// jobs still executing.
+// jobs still executing.  For a graceful shutdown, Drain first: the
+// server refuses new jobs (503 "draining") while the shards already
+// accepted finish executing and streaming.
 type Server struct {
 	worker *Worker
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	nextID int
-	jobs   map[string]*jobState
+	mu        sync.Mutex
+	nextID    int
+	jobs      map[string]*jobState
+	executing int // jobs whose Execute has not returned yet
+	draining  bool
 }
 
 // NewServer builds a job server executing on the given worker.
@@ -87,12 +98,72 @@ func NewServer(w *Worker) *Server {
 // an error line.
 func (s *Server) Close() { s.cancel() }
 
+// StartDrain flips the server into draining mode: /v1/healthz answers
+// 503 "draining", /v1/status sets Status.Draining, and new job
+// submissions are refused with 503 — while jobs already accepted keep
+// executing and streaming.  Draining is one-way; use Drain to also
+// wait for the in-flight work.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether StartDrain (or Drain) has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the job API down: it stops accepting new
+// jobs (StartDrain) and blocks until every accepted job has finished
+// executing and streamed its terminal line, or ctx expires — the
+// SIGTERM path of cmd/sweepd.  It returns ctx.Err() on timeout, nil
+// once the server is idle; either way the server stays drained.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	for {
+		if s.drained() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// drained reports whether no job is executing and every buffered job
+// has streamed its terminal line.
+func (s *Server) drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.executing > 0 {
+		return false
+	}
+	for _, js := range s.jobs {
+		js.mu.Lock()
+		ok := js.streamed
+		js.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Handler returns the job API's http.Handler, with the store API's
 // routes left unclaimed (mount a StoreServer beside it if this worker
 // should also serve the fleet store).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(healthzPath, func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, drainingBody, http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc(statusPath, func(w http.ResponseWriter, r *http.Request) {
@@ -100,8 +171,10 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		st := s.worker.Status()
+		st.Draining = s.Draining()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(s.worker.Status())
+		json.NewEncoder(w).Encode(st)
 	})
 	mux.HandleFunc(jobsPath, s.serveSubmit)
 	mux.HandleFunc(jobsPath+"/", s.serveStream)
@@ -125,10 +198,16 @@ func (s *Server) serveSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, drainingBody, http.StatusServiceUnavailable)
+		return
+	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
 	js := newJobState()
 	s.jobs[id] = js
+	s.executing++
 	s.mu.Unlock()
 	job.ID = id
 
@@ -144,6 +223,9 @@ func (s *Server) serveSubmit(w http.ResponseWriter, r *http.Request) {
 		js.done, js.err = true, err
 		js.cond.Broadcast()
 		js.mu.Unlock()
+		s.mu.Lock()
+		s.executing--
+		s.mu.Unlock()
 	}()
 
 	w.Header().Set("Content-Type", "application/json")
@@ -211,6 +293,9 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 				delete(s.jobs, id)
 				s.mu.Unlock()
 			}
+			js.mu.Lock()
+			js.streamed = true
+			js.mu.Unlock()
 			return
 		}
 	}
@@ -241,9 +326,12 @@ func NewHTTPTransport() *HTTPTransport {
 }
 
 // Run submits the job to the worker at the given base URL and decodes
-// its result stream, emitting every point.  A stream that ends without
-// a terminal line reports a truncation error, so a worker dying
-// mid-shard is indistinguishable from unreachable — either way the
+// its result stream, emitting every point.  Failures are structured
+// *TransportError values: a 503 "draining" submission wraps
+// ErrWorkerDraining (the worker is shutting down gracefully, not
+// dead), and a stream that ends without a terminal line — whether cut
+// between lines or mid-line — wraps ErrTruncatedStream, so a worker
+// dying mid-shard can never read as a complete shard; either way the
 // coordinator reassigns.
 func (t *HTTPTransport) Run(ctx context.Context, worker string, job Job, emit func(PointResult) error) error {
 	base := strings.TrimSuffix(worker, "/")
@@ -253,41 +341,44 @@ func (t *HTTPTransport) Run(ctx context.Context, worker string, job Job, emit fu
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+jobsPath, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return &TransportError{Worker: worker, Op: "submit", Err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := t.Client.Do(req)
 	if err != nil {
-		return err
+		return &TransportError{Worker: worker, Op: "submit", Err: err}
+	}
+	acceptBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		if isDrainingResponse(resp.StatusCode, acceptBody) {
+			return &TransportError{Worker: worker, Op: "submit", Err: ErrWorkerDraining}
+		}
+		return &TransportError{Worker: worker, Op: "submit", Err: fmt.Errorf("status %s", resp.Status)}
 	}
 	var accepted struct {
 		ID string `json:"id"`
 	}
-	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&accepted)
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("distrib: submit to %s: %s", worker, resp.Status)
-	}
-	if decErr != nil || accepted.ID == "" {
-		return fmt.Errorf("distrib: submit to %s: bad accept body", worker)
+	if err := json.Unmarshal(acceptBody, &accepted); err != nil || accepted.ID == "" {
+		return &TransportError{Worker: worker, Op: "submit", Err: errors.New("bad accept body")}
 	}
 
 	req, err = http.NewRequestWithContext(ctx, http.MethodGet,
 		fmt.Sprintf("%s%s/%s/stream", base, jobsPath, accepted.ID), nil)
 	if err != nil {
-		return err
+		return &TransportError{Worker: worker, Op: "stream", Err: err}
 	}
 	resp, err = t.Client.Do(req)
 	if err != nil {
-		return err
+		return &TransportError{Worker: worker, Op: "stream", Err: err}
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("distrib: stream from %s: %s", worker, resp.Status)
+		return &TransportError{Worker: worker, Op: "stream", Err: fmt.Errorf("status %s", resp.Status)}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
@@ -297,7 +388,11 @@ func (t *HTTPTransport) Run(ctx context.Context, worker string, job Job, emit fu
 		}
 		var line streamLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return fmt.Errorf("distrib: stream from %s: %w", worker, err)
+			// An undecodable line is a stream cut mid-line (a crash
+			// between write and flush): structurally truncated, exactly
+			// like a missing terminal line.
+			return &TransportError{Worker: worker, Op: "stream",
+				Err: fmt.Errorf("%w: undecodable line: %v", ErrTruncatedStream, err)}
 		}
 		switch {
 		case line.Err != "":
@@ -311,9 +406,17 @@ func (t *HTTPTransport) Run(ctx context.Context, worker string, job Job, emit fu
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("distrib: stream from %s: %w", worker, err)
+		return &TransportError{Worker: worker, Op: "stream",
+			Err: fmt.Errorf("%w: %v", ErrTruncatedStream, err)}
 	}
-	return fmt.Errorf("distrib: stream from %s truncated", worker)
+	return &TransportError{Worker: worker, Op: "stream", Err: ErrTruncatedStream}
+}
+
+// isDrainingResponse reports whether a response is a draining server's
+// 503 + "draining" refusal.
+func isDrainingResponse(status int, body []byte) bool {
+	return status == http.StatusServiceUnavailable &&
+		strings.Contains(strings.TrimSpace(string(body)), drainingBody)
 }
 
 // Status fetches the worker's /v1/status telemetry snapshot with a
@@ -344,7 +447,9 @@ func (t *HTTPTransport) Status(ctx context.Context, worker string) (Status, erro
 }
 
 // Healthy probes the worker's /v1/healthz endpoint with a short
-// deadline layered under ctx.
+// deadline layered under ctx.  A draining worker (503 "draining")
+// reports ErrWorkerDraining — alive, finishing in-flight shards, but
+// accepting no new work — distinct from a dead one.
 func (t *HTTPTransport) Healthy(ctx context.Context, worker string) error {
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
@@ -357,9 +462,13 @@ func (t *HTTPTransport) Healthy(ctx context.Context, worker string) error {
 	if err != nil {
 		return err
 	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if isDrainingResponse(resp.StatusCode, body) {
+			return &TransportError{Worker: worker, Op: "healthz", Err: ErrWorkerDraining}
+		}
 		return fmt.Errorf("distrib: %s unhealthy: %s", worker, resp.Status)
 	}
 	return nil

@@ -1,0 +1,146 @@
+// The coordinator's checkpoint journal: an append-only NDJSON file
+// recording which shards of a sweep have completed, keyed by a hash of
+// the sweep's wire spec and shard plan.  A crashed or cancelled Sweep
+// resumed with the same journal directory re-dispatches only the
+// unfinished shards and reconstructs the finished ones from the shared
+// result store — zero re-simulation of completed work.
+
+package distrib
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// journalLine is one NDJSON line of a checkpoint journal: the first
+// line is the header (SpaceHash and Shards set), every later line
+// records one completed shard.
+type journalLine struct {
+	// SpaceHash is the sweep's spec/plan hash (header line only).
+	SpaceHash string `json:"space_hash,omitempty"`
+	// Shards is the planned shard count (header line only).
+	Shards int `json:"shards,omitempty"`
+	// Shard is a completed shard's ID (completion lines only; the
+	// header never carries it, so pointer-nil distinguishes the forms).
+	Shard *int `json:"shard,omitempty"`
+}
+
+// specHash fingerprints a sweep for journal identity: the SHA-256 of
+// the spec's canonical JSON plus the shard count, so a journal can
+// never resume a different space or a differently-sharded plan.
+func specHash(spec SpaceSpec, shards int) (string, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(data)
+	fmt.Fprintf(h, "|shards=%d", shards)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// journal is an open checkpoint journal: the append handle plus the
+// set of shard completions already on disk.  complete is safe for
+// concurrent use (worker goroutines checkpoint as shards finish).
+type journal struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]bool
+}
+
+// openJournal opens (or creates) the journal for one sweep identity in
+// dir, replaying any completions a previous run recorded.  The file
+// name embeds the spec/plan hash, so one directory serves many sweeps
+// and a changed spec or shard count never matches a stale journal.
+func openJournal(dir string, spec SpaceSpec, shards int) (*journal, error) {
+	hash, err := specHash(spec, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, "sweep-"+hash[:16]+".journal")
+	j := &journal{path: path, done: make(map[int]bool)}
+
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		first := true
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var line journalLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				// A torn final line is what a crash mid-append leaves
+				// behind; everything before it is still trustworthy.
+				break
+			}
+			if first {
+				first = false
+				if line.SpaceHash != hash || line.Shards != shards {
+					data.Close()
+					return nil, fmt.Errorf("distrib: journal %s does not match this sweep (hash %s, %d shards)",
+						path, hash[:16], shards)
+				}
+				continue
+			}
+			if line.Shard != nil && *line.Shard >= 0 && *line.Shard < shards {
+				j.done[*line.Shard] = true
+			}
+		}
+		data.Close()
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: journal: %w", err)
+	}
+	j.f = f
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		if err := j.append(journalLine{SpaceHash: hash, Shards: shards}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// append writes one NDJSON line and syncs it — a completion must be
+// durable before the coordinator acts on it, or a crash could forget
+// finished work the store no longer double-covers.
+func (j *journal) append(line journalLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("distrib: journal append: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// complete records one shard's completion (idempotent).
+func (j *journal) complete(id int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done[id] {
+		return nil
+	}
+	j.done[id] = true
+	return j.append(journalLine{Shard: &id})
+}
+
+// close releases the append handle.
+func (j *journal) close() {
+	if j.f != nil {
+		j.f.Close()
+	}
+}

@@ -1,0 +1,192 @@
+package distrib
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/qnet/simulate"
+)
+
+// recordingTransport wraps a Transport and records every dispatched
+// shard's point indices, so a test can prove which work was (and was
+// not) re-dispatched.
+type recordingTransport struct {
+	Transport
+	mu         sync.Mutex
+	dispatched [][]int
+}
+
+// Run records the job's indices, then forwards.
+func (rt *recordingTransport) Run(ctx context.Context, worker string, job Job, emit func(PointResult) error) error {
+	rt.mu.Lock()
+	rt.dispatched = append(rt.dispatched, append([]int(nil), job.Indices...))
+	rt.mu.Unlock()
+	return rt.Transport.Run(ctx, worker, job, emit)
+}
+
+// dispatchedIndices returns the set of every point index dispatched.
+func (rt *recordingTransport) dispatchedIndices() map[int]bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[int]bool)
+	for _, indices := range rt.dispatched {
+		for _, idx := range indices {
+			out[idx] = true
+		}
+	}
+	return out
+}
+
+// TestJournalCrashResume is the crash-resume proof: run one sweep with
+// a journal until the fleet dies mid-way, then re-run the identical
+// sweep against the same journal directory and shared store, and
+// assert the journaled-complete shards are never dispatched again —
+// their points are reconstructed from the store — while the merged
+// output stays byte-identical to the single-process sweep.
+func TestJournalCrashResume(t *testing.T) {
+	spec := testSpec(t)
+	want := canonicalPoints(t, singleProcess(t, spec))
+	dir := t.TempDir()
+	store := simulate.NewCache(0)
+
+	// Run 1: a single serial worker that dies after delivering 3 points.
+	// With 4 shards of 2 points, shard 0 completes (and journals) before
+	// the death truncates shard 1; the sweep then fails with the whole
+	// fleet dead.
+	lb1 := NewLoopback()
+	lb1.Add("w0", NewWorker(WithWorkerStore(store), WithWorkerParallelism(1)))
+	lb1.KillAfterPoints("w0", 3)
+	coord1, err := NewCoordinator(lb1, []string{"w0"},
+		WithSharedStore(store, ""),
+		WithShards(4),
+		WithMaxAttempts(2),
+		WithRetryBackoff(time.Millisecond),
+		WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := coord1.Sweep(context.Background(), spec); err == nil {
+		t.Fatal("run 1 should have failed with its only worker dead")
+	}
+
+	// The journal must have recorded at least shard 0.
+	jnl, err := openJournal(dir, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := make(map[int]bool, len(jnl.done))
+	for id := range jnl.done {
+		completed[id] = true
+	}
+	jnl.close()
+	if len(completed) == 0 {
+		t.Fatal("run 1 journaled no completed shards")
+	}
+
+	// Run 2: a healthy fleet, same journal directory, same store.  The
+	// journaled shards must be resumed from the store, never dispatched.
+	lb2 := NewLoopback()
+	lb2.Add("w0", NewWorker(WithWorkerStore(store)))
+	lb2.Add("w1", NewWorker(WithWorkerStore(store)))
+	rt := &recordingTransport{Transport: lb2}
+	coord2, err := NewCoordinator(rt, []string{"w0", "w1"},
+		WithSharedStore(store, ""),
+		WithShards(4),
+		WithRetryBackoff(time.Millisecond),
+		WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, rep, err := coord2.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalPoints(t, points); string(got) != string(want) {
+		t.Fatalf("resumed point set differs from single-process sweep:\n got %s\nwant %s", got, want)
+	}
+	if rep.ResumedShards != len(completed) {
+		t.Fatalf("resumed %d shards, journal recorded %d complete", rep.ResumedShards, len(completed))
+	}
+
+	// Zero re-dispatch of completed work: no dispatched job may contain
+	// any index belonging to a journaled-complete shard.
+	shards := PlanShards(8, 4)
+	dispatched := rt.dispatchedIndices()
+	for id := range completed {
+		for _, idx := range shards[id].Indices {
+			if dispatched[idx] {
+				t.Fatalf("point %d of journaled-complete shard %d was re-dispatched", idx, id)
+			}
+		}
+	}
+	// And the resumed points were store-reconstructions.
+	if rep.CacheHits < 2 {
+		t.Fatalf("resumed shards did not come from the store: %s", rep)
+	}
+	t.Logf("run 2 report: %s", rep)
+}
+
+// TestJournalIdentityAndTornLine covers the journal file's own
+// contracts: completions survive reopen, a torn trailing line (a crash
+// mid-append) is tolerated, idempotent completion writes once, and a
+// journal never matches a sweep with a different shard plan.
+func TestJournalIdentityAndTornLine(t *testing.T) {
+	spec := testSpec(t)
+	dir := t.TempDir()
+
+	jnl, err := openJournal(dir, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jnl.done) != 0 {
+		t.Fatalf("fresh journal has %d completions", len(jnl.done))
+	}
+	if err := jnl.complete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.complete(2); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := jnl.complete(0); err != nil {
+		t.Fatal(err)
+	}
+	path := jnl.path
+	jnl.close()
+
+	// A crash mid-append leaves a torn final line; everything before it
+	// must still replay.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"shard":`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jnl2, err := openJournal(dir, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.close()
+	if !jnl2.done[2] || !jnl2.done[0] || len(jnl2.done) != 2 {
+		t.Fatalf("replayed completions %v, want {0, 2}", jnl2.done)
+	}
+
+	// Same directory, different shard plan: the file names diverge, so
+	// the stale journal can never be matched.
+	jnl8, err := openJournal(dir, spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl8.close()
+	if jnl8.path == path {
+		t.Fatal("different shard plan mapped to the same journal file")
+	}
+	if len(jnl8.done) != 0 {
+		t.Fatalf("8-shard journal inherited completions %v", jnl8.done)
+	}
+}

@@ -25,6 +25,7 @@ type Loopback struct {
 type loopbackWorker struct {
 	worker    *Worker
 	dead      bool
+	draining  bool
 	killAfter int // points until injected death; <0 = never
 	emitted   int // points delivered across all jobs
 	cancels   map[*context.CancelFunc]struct{}
@@ -69,6 +70,18 @@ func (lw *loopbackWorker) die() {
 	}
 }
 
+// Drain marks the named worker draining, mirroring a sweepd that
+// received SIGTERM: new Runs are refused with ErrWorkerDraining and
+// Healthy reports the same, while jobs already in flight finish and
+// Status keeps answering with Draining set — healthy but unavailable.
+func (l *Loopback) Drain(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lw := l.workers[name]; lw != nil {
+		lw.draining = true
+	}
+}
+
 // KillAfterPoints arms an injected death: the named worker dies as
 // soon as it has delivered n points in total (across jobs), truncating
 // whatever shard it is running at that moment — exactly what a
@@ -94,6 +107,10 @@ func (l *Loopback) Run(ctx context.Context, worker string, job Job, emit func(Po
 	if lw.dead {
 		l.mu.Unlock()
 		return fmt.Errorf("distrib: loopback worker %q is dead", worker)
+	}
+	if lw.draining {
+		l.mu.Unlock()
+		return &TransportError{Worker: worker, Op: "submit", Err: ErrWorkerDraining}
 	}
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -146,9 +163,11 @@ func (l *Loopback) Status(_ context.Context, worker string) (Status, error) {
 		l.mu.Unlock()
 		return Status{}, fmt.Errorf("distrib: loopback worker %q is dead", worker)
 	}
-	w := lw.worker
+	w, draining := lw.worker, lw.draining
 	l.mu.Unlock()
-	return w.Status(), nil
+	st := w.Status()
+	st.Draining = draining
+	return st, nil
 }
 
 // Healthy reports the named worker's liveness.
@@ -161,6 +180,8 @@ func (l *Loopback) Healthy(_ context.Context, worker string) error {
 		return fmt.Errorf("distrib: unknown loopback worker %q", worker)
 	case lw.dead:
 		return fmt.Errorf("distrib: loopback worker %q is dead", worker)
+	case lw.draining:
+		return &TransportError{Worker: worker, Op: "healthz", Err: ErrWorkerDraining}
 	}
 	return nil
 }

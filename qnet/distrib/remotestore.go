@@ -103,28 +103,86 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// DefaultStoreTimeout is the per-request deadline a RemoteStore uses
+// unless WithStoreTimeout overrides it.
+const DefaultStoreTimeout = 30 * time.Second
+
 // RemoteStore is a simulate.Store backed by a StoreServer across the
 // network.  Like every Store it is best-effort: an unreachable server
 // turns Gets into misses and Puts into counted write errors, never
 // into simulation failures — a partitioned worker degrades to
 // re-simulating, exactly as if the store were cold.
+//
+// Every request carries the store's bound context (WithContext) plus a
+// per-request timeout (WithStoreTimeout), so cancelling a shard's
+// context aborts its in-flight store traffic instead of leaving it to
+// a hardcoded client deadline.
 type RemoteStore struct {
-	base   string
-	client *http.Client
+	base    string
+	client  *http.Client
+	timeout time.Duration
+	ctx     context.Context
+	stats   *storeStats // shared across WithContext views
+}
 
-	mu    sync.Mutex
-	stats simulate.CacheStats
+// storeStats is a RemoteStore's traffic counters, shared by reference
+// so every WithContext view feeds the same totals.
+type storeStats struct {
+	mu sync.Mutex
+	s  simulate.CacheStats
 }
 
 // RemoteStore implements simulate.Store.
 var _ simulate.Store = (*RemoteStore)(nil)
 
+// RemoteStoreOption configures a RemoteStore.
+type RemoteStoreOption func(*RemoteStore)
+
+// WithStoreTimeout sets the per-request deadline for Get/Put/stats
+// calls (default DefaultStoreTimeout).  Zero or negative disables the
+// per-request deadline, leaving only the bound context in charge.
+func WithStoreTimeout(d time.Duration) RemoteStoreOption {
+	return func(rs *RemoteStore) { rs.timeout = d }
+}
+
+// WithStoreClient replaces the underlying http.Client (sharing a
+// transport pool, adding instrumentation, ...).  The client's own
+// Timeout stays zero-valued under RemoteStore's control; deadlines
+// come from WithStoreTimeout and the bound context.
+func WithStoreClient(c *http.Client) RemoteStoreOption {
+	return func(rs *RemoteStore) { rs.client = c }
+}
+
 // NewRemoteStore builds a client of the store API rooted at base
 // (e.g. "http://coordinator:9090").  A trailing slash is tolerated.
-func NewRemoteStore(base string) *RemoteStore {
+func NewRemoteStore(base string, opts ...RemoteStoreOption) *RemoteStore {
+	rs := &RemoteStore{
+		base:    strings.TrimSuffix(base, "/"),
+		client:  &http.Client{},
+		timeout: DefaultStoreTimeout,
+		ctx:     context.Background(),
+		stats:   &storeStats{},
+	}
+	for _, opt := range opts {
+		opt(rs)
+	}
+	return rs
+}
+
+// WithContext returns a view of the store whose requests are children
+// of ctx: cancelling ctx aborts in-flight Gets and Puts immediately.
+// The view shares the parent's client, configuration and stats
+// counters, so a worker can bind one fleet store to each job context.
+func (rs *RemoteStore) WithContext(ctx context.Context) *RemoteStore {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &RemoteStore{
-		base:   strings.TrimSuffix(base, "/"),
-		client: &http.Client{Timeout: 30 * time.Second},
+		base:    rs.base,
+		client:  rs.client,
+		timeout: rs.timeout,
+		ctx:     ctx,
+		stats:   rs.stats,
 	}
 }
 
@@ -133,10 +191,29 @@ func (rs *RemoteStore) keyURL(k simulate.Key) string {
 	return rs.base + storePath + k.String()
 }
 
+// requestCtx derives one request's context from the bound context and
+// the per-request timeout.
+func (rs *RemoteStore) requestCtx() (context.Context, context.CancelFunc) {
+	ctx := rs.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rs.timeout > 0 {
+		return context.WithTimeout(ctx, rs.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
 // Get fetches the Result for the key; any transport or decode failure
-// is a miss.
+// — including cancellation of the bound context — is a miss.
 func (rs *RemoteStore) Get(k simulate.Key) (simulate.Result, bool) {
-	resp, err := rs.client.Get(rs.keyURL(k))
+	ctx, cancel := rs.requestCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rs.keyURL(k), nil)
+	if err != nil {
+		return rs.miss()
+	}
+	resp, err := rs.client.Do(req)
 	if err != nil {
 		return rs.miss()
 	}
@@ -149,34 +226,37 @@ func (rs *RemoteStore) Get(k simulate.Key) (simulate.Result, bool) {
 	}
 	var res simulate.Result
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		rs.mu.Lock()
-		rs.stats.CorruptEntries++
-		rs.mu.Unlock()
+		rs.stats.mu.Lock()
+		rs.stats.s.CorruptEntries++
+		rs.stats.mu.Unlock()
 		return rs.miss()
 	}
-	rs.mu.Lock()
-	rs.stats.Hits++
-	rs.mu.Unlock()
+	rs.stats.mu.Lock()
+	rs.stats.s.Hits++
+	rs.stats.mu.Unlock()
 	return res, true
 }
 
 // miss counts and returns a store miss.
 func (rs *RemoteStore) miss() (simulate.Result, bool) {
-	rs.mu.Lock()
-	rs.stats.Misses++
-	rs.mu.Unlock()
+	rs.stats.mu.Lock()
+	rs.stats.s.Misses++
+	rs.stats.mu.Unlock()
 	return simulate.Result{}, false
 }
 
-// Put uploads the Result for the key, best effort; failures are
-// counted in Stats().WriteErrors.
+// Put uploads the Result for the key, best effort; failures —
+// including cancellation of the bound context — are counted in
+// Stats().WriteErrors.
 func (rs *RemoteStore) Put(k simulate.Key, res simulate.Result) {
 	data, err := json.Marshal(res)
 	if err != nil {
 		rs.writeError()
 		return
 	}
-	req, err := http.NewRequest(http.MethodPut, rs.keyURL(k), bytes.NewReader(data))
+	ctx, cancel := rs.requestCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, rs.keyURL(k), bytes.NewReader(data))
 	if err != nil {
 		rs.writeError()
 		return
@@ -196,18 +276,18 @@ func (rs *RemoteStore) Put(k simulate.Key, res simulate.Result) {
 
 // writeError counts one failed Put.
 func (rs *RemoteStore) writeError() {
-	rs.mu.Lock()
-	rs.stats.WriteErrors++
-	rs.mu.Unlock()
+	rs.stats.mu.Lock()
+	rs.stats.s.WriteErrors++
+	rs.stats.mu.Unlock()
 }
 
 // Stats returns this client's local traffic counters (its own hits,
 // misses and write errors — not the server's aggregate; see
-// ServerStats for that).
+// ServerStats for that).  WithContext views share one counter set.
 func (rs *RemoteStore) Stats() simulate.CacheStats {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	return rs.stats
+	rs.stats.mu.Lock()
+	defer rs.stats.mu.Unlock()
+	return rs.stats.s
 }
 
 // ServerStats fetches the server-side aggregate counters of the

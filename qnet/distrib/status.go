@@ -10,6 +10,11 @@ package distrib
 // occupancy fields are fed by qnet/trace and stay zero unless the
 // worker was built with WithWorkerTelemetry.
 type Status struct {
+	// Draining reports that the worker is shutting down gracefully: it
+	// refuses new jobs (ErrWorkerDraining) while finishing the shards
+	// already in flight.  The coordinator treats a draining worker as
+	// healthy but unavailable — never dead.
+	Draining bool `json:"draining,omitempty"`
 	// ActivePoints is how many run points the worker is simulating
 	// right now.
 	ActivePoints int `json:"active_points"`

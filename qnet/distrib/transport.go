@@ -2,7 +2,47 @@
 
 package distrib
 
-import "context"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncatedStream marks a result stream that ended without a
+// terminal done/error line — whether cut between lines or mid-line.
+// Transports wrap it (errors.Is-matchable) so the coordinator can tell
+// a structurally broken stream from a worker-side failure; either way
+// the shard reassigns, never partially merges.
+var ErrTruncatedStream = errors.New("distrib: result stream truncated")
+
+// ErrWorkerDraining marks a worker that refused a dispatch or probe
+// because it is draining: alive, finishing its in-flight shards, but
+// accepting no new work.  The coordinator treats it as
+// healthy-but-unavailable — it stops dispatching to the worker without
+// declaring it dead.
+var ErrWorkerDraining = errors.New("distrib: worker is draining")
+
+// TransportError is the structured failure of one transport call: the
+// worker it targeted, the operation that failed, and the cause.  It
+// unwraps to the cause, so errors.Is sees sentinels like
+// ErrTruncatedStream and ErrWorkerDraining through it.
+type TransportError struct {
+	// Worker is the worker name (for HTTPTransport, its base URL).
+	Worker string
+	// Op is the operation that failed: "submit", "stream", "healthz"
+	// or "status".
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the failure with its worker and operation.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("distrib: %s %s: %v", e.Op, e.Worker, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *TransportError) Unwrap() error { return e.Err }
 
 // Transport carries jobs from the coordinator to named workers and
 // streams their results back.  Two implementations ship: HTTPTransport

@@ -24,7 +24,7 @@ type Worker struct {
 	store       simulate.Store
 	parallel    int
 	runParallel int
-	newRemote   func(url string) simulate.Store
+	newRemote   func(ctx context.Context, url string) simulate.Store
 	telemetry   bool
 	traceIv     time.Duration
 
@@ -78,8 +78,10 @@ func WithWorkerTelemetry(interval time.Duration) WorkerOption {
 // telemetry).
 func NewWorker(opts ...WorkerOption) *Worker {
 	w := &Worker{
-		newRemote: func(url string) simulate.Store { return NewRemoteStore(url) },
-		active:    make(map[*trace.Tracer]struct{}),
+		newRemote: func(ctx context.Context, url string) simulate.Store {
+			return NewRemoteStore(url).WithContext(ctx)
+		},
+		active: make(map[*trace.Tracer]struct{}),
 	}
 	for _, opt := range opts {
 		opt(w)
@@ -109,10 +111,11 @@ func (w *Worker) Status() Status {
 }
 
 // storeFor resolves the store one job runs against: the job's shared
-// StoreURL when set, else the worker's own.
-func (w *Worker) storeFor(job Job) simulate.Store {
+// StoreURL when set (bound to the job's context, so cancelling the
+// job aborts its in-flight store traffic), else the worker's own.
+func (w *Worker) storeFor(ctx context.Context, job Job) simulate.Store {
 	if job.StoreURL != "" {
-		return w.newRemote(job.StoreURL)
+		return w.newRemote(ctx, job.StoreURL)
 	}
 	return w.store
 }
@@ -142,7 +145,7 @@ func (w *Worker) Execute(ctx context.Context, job Job, emit func(PointResult) er
 	if err != nil {
 		return err
 	}
-	store := w.storeFor(job)
+	store := w.storeFor(ctx, job)
 
 	parallel := w.parallel
 	if parallel < 1 {
